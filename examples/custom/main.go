@@ -1,0 +1,58 @@
+// Custom: build your own multi-stage application on the public API. This
+// example models a video-analysis service — Decode → Detect → Annotate —
+// with hand-written demand distributions, and shows how PowerChief adapts
+// its technique as the load grows: frequency boosting while queues are
+// shallow, instance boosting once queuing dominates.
+//
+//	go run ./examples/custom
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"powerchief"
+)
+
+func main() {
+	video := powerchief.App{
+		Name: "video-analysis",
+		Stages: []powerchief.StageProfile{
+			// Decode is cheap and scales almost linearly with frequency.
+			{Name: "Decode", Work: powerchief.WorkModel{Median: 80 * time.Millisecond, Sigma: 0.2}, MemBound: 0.1},
+			// Detection dominates and is partly memory bound.
+			{Name: "Detect", Work: powerchief.WorkModel{Median: 600 * time.Millisecond, Sigma: 0.5}, MemBound: 0.3},
+			// Annotation is moderate with a long tail.
+			{Name: "Annotate", Work: powerchief.WorkModel{Median: 200 * time.Millisecond, Sigma: 0.6}, MemBound: 0.2},
+		},
+	}
+	if err := video.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, load := range []powerchief.LoadLevel{powerchief.LowLoad, powerchief.HighLoad} {
+		base, err := powerchief.Run(powerchief.Scenario{
+			Name: fmt.Sprintf("video-%s-baseline", load), App: video,
+			Level: powerchief.MidLevel, Budget: 13.56,
+			Source: powerchief.ConstantLoad(load), Duration: 600 * time.Second, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		managed, err := powerchief.Run(powerchief.Scenario{
+			Name: fmt.Sprintf("video-%s-powerchief", load), App: video,
+			Level: powerchief.MidLevel, Budget: 13.56,
+			Policy: powerchief.PowerChiefPolicy(),
+			Source: powerchief.ConstantLoad(load), Duration: 600 * time.Second, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_ = powerchief.WriteResult(os.Stdout, base)
+		_ = powerchief.WriteResult(os.Stdout, managed)
+		avg, p99 := powerchief.Improvement(base, managed)
+		fmt.Printf("→ %s load: %.1fx avg, %.1fx p99 improvement\n\n", load, avg, p99)
+	}
+}

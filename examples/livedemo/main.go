@@ -1,0 +1,97 @@
+// Livedemo: run the framework as a real runtime rather than a simulation —
+// goroutine workers, wall-clock ticker, the same PowerChief policy. Time is
+// compressed 100× so a 5-minute experiment takes ~3 seconds.
+//
+//	go run ./examples/livedemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/core"
+	"powerchief/internal/live"
+	"powerchief/internal/query"
+	"powerchief/internal/stage"
+)
+
+func main() {
+	const scale = 0.01 // 1 virtual second = 10ms wall
+
+	cluster, err := live.NewCluster(live.Options{
+		Budget:    13.56,
+		TimeScale: scale,
+	}, []live.StageSpec{
+		{Name: "ASR", Kind: stage.Pipeline, Profile: cmp.NewRooflineProfile(0.15), Instances: 1, Level: cmp.MidLevel},
+		{Name: "IMM", Kind: stage.Pipeline, Profile: cmp.NewRooflineProfile(0.35), Instances: 1, Level: cmp.MidLevel},
+		{Name: "QA", Kind: stage.Pipeline, Profile: cmp.NewRooflineProfile(0.25), Instances: 1, Level: cmp.MidLevel},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	agg := core.NewAggregator(25*time.Second, cluster.Now)
+	cluster.OnComplete(agg.Ingest)
+	var mu sync.Mutex
+	var latencies []time.Duration
+	done := make(chan struct{}, 65536)
+	cluster.OnComplete(func(q *query.Query) {
+		mu.Lock()
+		latencies = append(latencies, q.Latency())
+		mu.Unlock()
+		done <- struct{}{}
+	})
+
+	ctl := live.StartController(cluster, agg, core.NewPowerChief(core.DefaultConfig()), 25*time.Second)
+	defer ctl.Stop()
+
+	// Drive ~2 qps (virtual) of Sirius-like load for 300 virtual seconds.
+	rng := rand.New(rand.NewSource(1))
+	sent := 0
+	horizon := time.Now().Add(time.Duration(300 * scale * float64(time.Second)))
+	for time.Now().Before(horizon) {
+		work := [][]time.Duration{
+			{draw(rng, 300*time.Millisecond, 0.3)},
+			{draw(rng, 130*time.Millisecond, 0.25)},
+			{draw(rng, 700*time.Millisecond, 0.55)},
+		}
+		if err := cluster.Submit(query.New(query.ID(sent), cluster.Now(), work)); err != nil {
+			log.Fatal(err)
+		}
+		sent++
+		time.Sleep(time.Duration(rng.ExpFloat64() / 2.2 * scale * float64(time.Second)))
+	}
+	// Wait for the pipeline to drain.
+	for received := 0; received < sent; received++ {
+		<-done
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	fmt.Printf("live run: %d queries, avg=%v p99=%v (virtual time)\n",
+		sent, (sum / time.Duration(len(latencies))).Round(time.Millisecond),
+		latencies[len(latencies)*99/100].Round(time.Millisecond))
+	boosts := 0
+	for _, out := range ctl.Outcomes() {
+		if out.Kind != core.BoostNone {
+			boosts++
+			fmt.Printf("  decision: %s on %s\n", out.Kind, out.Target)
+		}
+	}
+	fmt.Printf("controller made %d boosting decisions across %d intervals\n", boosts, len(ctl.Outcomes()))
+}
+
+// draw samples a lognormal demand.
+func draw(rng *rand.Rand, median time.Duration, sigma float64) time.Duration {
+	return time.Duration(float64(median) * math.Exp(sigma*rng.NormFloat64()))
+}

@@ -1,0 +1,42 @@
+// NLP: run the Senna semantic-parsing pipeline (POS → PSG → SRL) under the
+// time-varying load profile of the paper's runtime-behaviour experiment and
+// dump PowerChief's decisions — per-stage instance counts and per-instance
+// frequencies over time — as CSV.
+//
+//	go run ./examples/nlp > nlp-trace.csv
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"powerchief"
+	"powerchief/internal/harness"
+	"powerchief/internal/workload"
+)
+
+func main() {
+	res, err := powerchief.Run(powerchief.Scenario{
+		Name:   "nlp-phased",
+		App:    powerchief.NLP(),
+		Level:  powerchief.MidLevel,
+		Budget: 13.56,
+		Policy: powerchief.PowerChiefPolicy(),
+		Source: func(capacity float64) powerchief.Source {
+			base := workload.RateForUtilization(capacity, powerchief.HighLoad.Utilization())
+			return workload.Figure11Trace(base)
+		},
+		Duration: 900 * time.Second,
+		Seed:     3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = powerchief.WriteResult(os.Stderr, res)
+	fmt.Fprintf(os.Stderr, "writing runtime trace CSV to stdout (instances, frequencies, power, latency)\n")
+	if err := harness.WriteRuntimeTrace(os.Stdout, res); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: run the Sirius intelligent-personal-assistant pipeline under
+// a 13.56 W power budget at high load, first with the stage-agnostic
+// baseline and then with PowerChief, and compare end-to-end latency.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"powerchief"
+)
+
+func main() {
+	base := powerchief.Scenario{
+		Name:     "quickstart-baseline",
+		App:      powerchief.Sirius(),
+		Level:    powerchief.MidLevel, // one instance per stage at 1.8 GHz
+		Budget:   13.56,               // watts — Table 2 of the paper
+		Source:   powerchief.ConstantLoad(powerchief.HighLoad),
+		Duration: 900 * time.Second,
+		Seed:     42,
+	}
+	baseline, err := powerchief.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	managed := base
+	managed.Name = "quickstart-powerchief"
+	managed.Policy = powerchief.PowerChiefPolicy()
+	boosted, err := powerchief.Run(managed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Sirius under high load, 13.56W budget:")
+	_ = powerchief.WriteResult(os.Stdout, baseline)
+	_ = powerchief.WriteResult(os.Stdout, boosted)
+	avg, p99 := powerchief.Improvement(baseline, boosted)
+	fmt.Printf("\nPowerChief improves average latency %.1fx and 99th percentile %.1fx\n", avg, p99)
+	fmt.Printf("while drawing %.2fW of the %.2fW budget on average.\n",
+		float64(boosted.AvgPower), float64(managed.Budget))
+}

@@ -1,0 +1,56 @@
+// Sirius: compare every boosting policy on the intelligent-personal-
+// assistant pipeline across the three load levels of the paper's evaluation
+// (Figure 10's experiment, printed as a table).
+//
+//	go run ./examples/sirius
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"powerchief"
+	"powerchief/internal/core"
+)
+
+func main() {
+	policies := []string{"baseline", "freq-boost", "inst-boost", "powerchief"}
+	loads := []powerchief.LoadLevel{powerchief.LowLoad, powerchief.MediumLoad, powerchief.HighLoad}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "load\tpolicy\tavg latency\tp99 latency\tavg power\tinstances launched")
+	for _, load := range loads {
+		var baseline *powerchief.Result
+		for _, name := range policies {
+			mk, _ := powerchief.PolicyByName(name)
+			res, err := powerchief.Run(powerchief.Scenario{
+				Name:     fmt.Sprintf("sirius-%s-%s", load, name),
+				App:      powerchief.Sirius(),
+				Level:    powerchief.MidLevel,
+				Budget:   13.56,
+				Policy:   mk,
+				Source:   powerchief.ConstantLoad(load),
+				Duration: 900 * time.Second,
+				Seed:     7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if name == "baseline" {
+				baseline = res
+			}
+			avg, p99 := powerchief.Improvement(baseline, res)
+			fmt.Fprintf(tw, "%s\t%s\t%v (%.1fx)\t%v (%.1fx)\t%.2fW\t%d\n",
+				load, name,
+				res.Latency.Mean().Round(time.Millisecond), avg,
+				res.Latency.P99().Round(time.Millisecond), p99,
+				float64(res.AvgPower), res.Boosts[core.BoostInstance])
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+// Web Search: the QoS power-conservation scenario (Figure 14's experiment).
+// An over-provisioned search cluster — 10 leaf replicas and an aggregator at
+// maximum frequency — serves a bursty load with a 250 ms latency target;
+// the example compares no control, the Pegasus-style stage-agnostic saver,
+// and PowerChief's stage-aware saver.
+//
+//	go run ./examples/websearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"powerchief"
+	"powerchief/internal/workload"
+)
+
+func main() {
+	const qos = 250 * time.Millisecond
+	policies := []struct {
+		name string
+		mk   func() powerchief.Policy
+	}{
+		{"baseline", nil},
+		{"pegasus", mustQoS("pegasus", qos)},
+		{"powerchief-saver", mustQoS("saver", qos)},
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tavg latency\tfraction of QoS\tavg power\tfraction of peak\tpower saved")
+	for _, p := range policies {
+		res, err := powerchief.Run(powerchief.Scenario{
+			Name:           "websearch-" + p.name,
+			App:            powerchief.WebSearch(),
+			Instances:      []int{10, 1}, // Table 3
+			Level:          powerchief.MaxLevel,
+			Policy:         p.mk,
+			AdjustInterval: 2 * time.Second,
+			StatsWindow:    8 * time.Second,
+			Source: func(capacity float64) powerchief.Source {
+				base := workload.RateForUtilization(capacity, 0.30)
+				tr, err := workload.BurstTrace(base, base*2.2, 25*time.Second, 6*time.Second, 200*time.Second)
+				if err != nil {
+					log.Fatal(err)
+				}
+				return tr
+			},
+			Duration: 200 * time.Second,
+			Seed:     9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		avg := res.Latency.Mean()
+		powerFrac := float64(res.AvgPower) / float64(res.PeakPower)
+		fmt.Fprintf(tw, "%s\t%v\t%.2f\t%.1fW\t%.2f\t%.0f%%\n",
+			p.name, avg.Round(time.Millisecond), avg.Seconds()/qos.Seconds(),
+			float64(res.AvgPower), powerFrac, (1-powerFrac)*100)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nBoth savers must keep latency under the QoS; the stage-aware saver")
+	fmt.Println("withdraws idle leaf replicas and deboosts per instance, so it saves more.")
+}
+
+func mustQoS(name string, qos time.Duration) func() powerchief.Policy {
+	mk, ok := powerchief.PolicyByNameQoS(name, qos)
+	if !ok {
+		log.Fatalf("unknown policy %s", name)
+	}
+	return mk
+}

@@ -1,0 +1,3 @@
+module powerchief
+
+go 1.22

@@ -1,0 +1,226 @@
+package app
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/stage"
+)
+
+func TestBuiltinAppsValid(t *testing.T) {
+	for _, a := range []App{Sirius(), NLP(), WebSearch()} {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"sirius", "nlp", "websearch"} {
+		a, err := ByName(name)
+		if err != nil || a.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, a.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestSiriusShape(t *testing.T) {
+	s := Sirius()
+	if len(s.Stages) != 3 {
+		t.Fatalf("Sirius has %d stages, want 3 (ASR, IMM, QA)", len(s.Stages))
+	}
+	names := []string{"ASR", "IMM", "QA"}
+	for i, want := range names {
+		if s.Stages[i].Name != want {
+			t.Errorf("stage %d = %s, want %s", i, s.Stages[i].Name, want)
+		}
+	}
+	// QA dominates; IMM is the lightest — the Figure 2 premise.
+	if s.HeaviestStage() != 2 {
+		t.Errorf("heaviest Sirius stage = %d, want QA", s.HeaviestStage())
+	}
+	if s.Stages[1].Work.Mean() >= s.Stages[0].Work.Mean() {
+		t.Error("IMM should be lighter than ASR")
+	}
+}
+
+func TestNLPShape(t *testing.T) {
+	n := NLP()
+	if n.HeaviestStage() != 1 {
+		t.Errorf("heaviest NLP stage = %d, want PSG", n.HeaviestStage())
+	}
+}
+
+func TestWebSearchShape(t *testing.T) {
+	w := WebSearch()
+	if w.Stages[0].Kind != stage.Pipeline {
+		t.Error("Web Search leaves are a replica pool (pipeline stage)")
+	}
+	if w.Stages[1].Kind != stage.Pipeline {
+		t.Error("Web Search aggregation must be a pipeline stage")
+	}
+	f := WebSearchFanOut()
+	if f.Stages[0].Kind != stage.FanOut {
+		t.Error("fan-out variant leaves must fan out")
+	}
+	if f.Stages[0].Skew <= 0 {
+		t.Error("fan-out shards should be skewed")
+	}
+	if err := f.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkModelMean(t *testing.T) {
+	w := WorkModel{Median: 100 * time.Millisecond, Sigma: 0.5}
+	want := 100 * math.Exp(0.125)
+	if got := w.Mean(); math.Abs(got.Seconds()*1000-want) > 1e-6 {
+		t.Errorf("Mean = %v, want %.3fms", got, want)
+	}
+	// Zero sigma degenerates to the median.
+	d := WorkModel{Median: 42 * time.Millisecond}
+	if d.Mean() != 42*time.Millisecond || d.Draw(rand.New(rand.NewSource(1))) != 42*time.Millisecond {
+		t.Error("degenerate model should return the median")
+	}
+}
+
+func TestWorkModelDrawStatistics(t *testing.T) {
+	w := WorkModel{Median: 100 * time.Millisecond, Sigma: 0.4}
+	rng := rand.New(rand.NewSource(42))
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += w.Draw(rng).Seconds()
+	}
+	got := sum / float64(n) * 1000
+	want := w.Mean().Seconds() * 1000
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("empirical mean %.2fms deviates from analytic %.2fms", got, want)
+	}
+}
+
+func TestSpecsDefaultsAndMismatch(t *testing.T) {
+	s := Sirius()
+	specs, err := s.Specs(nil, cmp.MidLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		if sp.Instances != 1 || sp.Level != cmp.MidLevel {
+			t.Errorf("default spec %s = %d inst @%v", sp.Name, sp.Instances, sp.Level)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	if _, err := s.Specs([]int{1, 2}, cmp.MidLevel); err == nil {
+		t.Error("mismatched instance-count length accepted")
+	}
+	specs, err = s.Specs([]int{4, 2, 5}, cmp.MaxLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[2].Instances != 5 {
+		t.Error("explicit instance counts not honoured")
+	}
+}
+
+func TestDrawWorkShape(t *testing.T) {
+	w := WebSearchFanOut()
+	rng := rand.New(rand.NewSource(7))
+	work := w.DrawWork(rng, []int{10, 1})
+	if len(work) != 2 || len(work[0]) != 10 || len(work[1]) != 1 {
+		t.Fatalf("work shape = (%d,%d)", len(work[0]), len(work[1]))
+	}
+	// Zero branch count clamps to one.
+	work = w.DrawWork(rng, []int{0, 1})
+	if len(work[0]) != 1 {
+		t.Error("zero fan-out branches not clamped to 1")
+	}
+	// Pipeline stages always draw a single branch.
+	s := Sirius()
+	work = s.DrawWork(rng, []int{9, 9, 9})
+	for i := range work {
+		if len(work[i]) != 1 {
+			t.Errorf("pipeline stage %d drew %d branches", i, len(work[i]))
+		}
+	}
+}
+
+func TestCapacityDominatedByHeaviestStage(t *testing.T) {
+	s := Sirius()
+	cap1 := s.CapacityQPS([]int{1, 1, 1}, cmp.MidLevel)
+	qa := s.Stages[2]
+	want := 1 / qa.MeanServing(cmp.MidLevel).Seconds()
+	if math.Abs(cap1-want)/want > 1e-9 {
+		t.Errorf("capacity = %v, want %v (QA-bound)", cap1, want)
+	}
+	// Doubling QA instances raises capacity; it becomes ASR-bound.
+	cap2 := s.CapacityQPS([]int{1, 1, 2}, cmp.MidLevel)
+	if cap2 <= cap1 {
+		t.Error("extra QA instance did not raise capacity")
+	}
+	// Higher frequency raises capacity.
+	cap3 := s.CapacityQPS([]int{1, 1, 1}, cmp.MaxLevel)
+	if cap3 <= cap1 {
+		t.Error("higher frequency did not raise capacity")
+	}
+}
+
+func TestFanOutCapacityIgnoresLeafCount(t *testing.T) {
+	w := WebSearchFanOut()
+	c10 := w.CapacityQPS([]int{10, 1}, cmp.MaxLevel)
+	c20 := w.CapacityQPS([]int{20, 1}, cmp.MaxLevel)
+	if math.Abs(c10-c20) > 1e-9 {
+		t.Error("fan-out capacity should not scale with leaf count (every leaf serves every query)")
+	}
+}
+
+func TestValidateRejectsBadApps(t *testing.T) {
+	good := StageProfile{Name: "S", Work: WorkModel{Median: time.Millisecond}}
+	cases := map[string]App{
+		"no name":    {Stages: []StageProfile{good}},
+		"no stages":  {Name: "x"},
+		"bad median": {Name: "x", Stages: []StageProfile{{Name: "S"}}},
+		"bad sigma":  {Name: "x", Stages: []StageProfile{{Name: "S", Work: WorkModel{Median: 1, Sigma: -1}}}},
+		"bad mem":    {Name: "x", Stages: []StageProfile{{Name: "S", Work: WorkModel{Median: 1}, MemBound: 2}}},
+		"no stage name": {Name: "x", Stages: []StageProfile{
+			{Work: WorkModel{Median: 1}},
+		}},
+	}
+	for name, a := range cases {
+		if a.Validate() == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// Property: draws are always positive and the profile's mean serving time
+// decreases (weakly) with frequency.
+func TestPropertyDrawPositiveAndServingMonotone(t *testing.T) {
+	f := func(seed int64, li uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, a := range []App{Sirius(), NLP(), WebSearch()} {
+			for _, sp := range a.Stages {
+				if sp.Work.Draw(rng) <= 0 {
+					return false
+				}
+				l := cmp.Level(int(li) % (cmp.NumLevels - 1))
+				if sp.MeanServing(l+1) > sp.MeanServing(l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package cmp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Chip models the power-constrained CMP: a fixed set of physical cores, each
+// either free or allocated to one service instance at a discrete frequency
+// level, under a hard power budget. Every allocation and DVFS action is
+// checked against the budget; an action that would exceed it fails rather
+// than oversubscribing, which is the invariant the paper's power reallocator
+// is built around.
+//
+// Chip is not safe for concurrent use; the DES engine is single-threaded and
+// the live engine serializes actuation through its controller goroutine.
+type Chip struct {
+	model  PowerModel
+	budget Watts
+	levels []Level // per-core frequency level; -1 = free
+	inUse  int
+	drawn  Watts
+}
+
+// CoreID identifies a physical core on the chip.
+type CoreID int
+
+// ErrNoFreeCore is returned when every physical core is allocated.
+var ErrNoFreeCore = errors.New("cmp: no free core")
+
+// ErrBudgetExceeded is returned when an action would push total draw past the
+// budget.
+var ErrBudgetExceeded = errors.New("cmp: power budget exceeded")
+
+// NewChip creates a chip with n cores governed by the model and budget.
+func NewChip(n int, model PowerModel, budget Watts) *Chip {
+	if n <= 0 {
+		panic("cmp: chip needs at least one core")
+	}
+	if model == nil {
+		panic("cmp: nil power model")
+	}
+	if budget <= 0 {
+		panic("cmp: power budget must be positive")
+	}
+	levels := make([]Level, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	return &Chip{model: model, budget: budget, levels: levels}
+}
+
+// Cores returns the number of physical cores.
+func (c *Chip) Cores() int { return len(c.levels) }
+
+// InUse returns the number of allocated cores.
+func (c *Chip) InUse() int { return c.inUse }
+
+// Free returns the number of unallocated cores.
+func (c *Chip) Free() int { return len(c.levels) - c.inUse }
+
+// Budget returns the chip power budget.
+func (c *Chip) Budget() Watts { return c.budget }
+
+// SetBudget changes the power budget. Lowering it below the current draw is
+// rejected; the caller must recycle power first.
+func (c *Chip) SetBudget(b Watts) error {
+	if b < c.drawn-1e-9 {
+		return fmt.Errorf("%w: new budget %.2fW below current draw %.2fW", ErrBudgetExceeded, float64(b), float64(c.drawn))
+	}
+	c.budget = b
+	return nil
+}
+
+// Draw returns the total power currently drawn by allocated cores.
+func (c *Chip) Draw() Watts { return c.drawn }
+
+// Headroom returns the unallocated portion of the budget.
+func (c *Chip) Headroom() Watts { return c.budget - c.drawn }
+
+// Model returns the chip's power model.
+func (c *Chip) Model() PowerModel { return c.model }
+
+// Level returns the frequency level of core id, or false if the core is free.
+func (c *Chip) Level(id CoreID) (Level, bool) {
+	if int(id) < 0 || int(id) >= len(c.levels) {
+		panic(fmt.Sprintf("cmp: core %d out of range", id))
+	}
+	l := c.levels[id]
+	if l < 0 {
+		return 0, false
+	}
+	return l, true
+}
+
+// Allocate claims a free core at the given level. It fails with ErrNoFreeCore
+// when all cores are taken and ErrBudgetExceeded when the core's power would
+// not fit in the remaining headroom.
+func (c *Chip) Allocate(l Level) (CoreID, error) {
+	if !l.Valid() {
+		return 0, fmt.Errorf("cmp: invalid frequency level %d", int(l))
+	}
+	id := CoreID(-1)
+	for i, lv := range c.levels {
+		if lv < 0 {
+			id = CoreID(i)
+			break
+		}
+	}
+	if id < 0 {
+		return 0, ErrNoFreeCore
+	}
+	p := c.model.Power(l)
+	if c.drawn+p > c.budget+1e-9 {
+		return 0, fmt.Errorf("%w: need %.2fW, headroom %.2fW", ErrBudgetExceeded, float64(p), float64(c.Headroom()))
+	}
+	c.levels[id] = l
+	c.inUse++
+	c.drawn += p
+	return id, nil
+}
+
+// Release frees an allocated core, returning its power to the headroom.
+func (c *Chip) Release(id CoreID) error {
+	l, ok := c.Level(id)
+	if !ok {
+		return fmt.Errorf("cmp: release of free core %d", id)
+	}
+	c.levels[id] = -1
+	c.inUse--
+	c.drawn -= c.model.Power(l)
+	if c.drawn < 0 {
+		c.drawn = 0
+	}
+	return nil
+}
+
+// SetLevel performs a DVFS transition on an allocated core. Raising the level
+// fails with ErrBudgetExceeded when the extra power does not fit.
+func (c *Chip) SetLevel(id CoreID, l Level) error {
+	if !l.Valid() {
+		return fmt.Errorf("cmp: invalid frequency level %d", int(l))
+	}
+	cur, ok := c.Level(id)
+	if !ok {
+		return fmt.Errorf("cmp: DVFS on free core %d", id)
+	}
+	delta := c.model.Power(l) - c.model.Power(cur)
+	if c.drawn+delta > c.budget+1e-9 {
+		return fmt.Errorf("%w: DVFS to %v needs %.2fW, headroom %.2fW", ErrBudgetExceeded, l, float64(delta), float64(c.Headroom()))
+	}
+	c.levels[id] = l
+	c.drawn += delta
+	return nil
+}
+
+// HighestAffordableRaise returns the highest level core id could be raised to
+// within the current headroom. The second result is false when the core is
+// free.
+func (c *Chip) HighestAffordableRaise(id CoreID) (Level, bool) {
+	cur, ok := c.Level(id)
+	if !ok {
+		return 0, false
+	}
+	budget := c.model.Power(cur) + c.Headroom()
+	l, _ := HighestAffordable(c.model, budget)
+	if l < cur {
+		// Headroom is never negative, so this cannot happen; keep the
+		// invariant explicit regardless.
+		l = cur
+	}
+	return l, true
+}
+
+// Snapshot returns the allocated cores and their levels, sorted by core ID.
+func (c *Chip) Snapshot() []CoreState {
+	out := make([]CoreState, 0, c.inUse)
+	for i, l := range c.levels {
+		if l >= 0 {
+			out = append(out, CoreState{ID: CoreID(i), Level: l, Power: c.model.Power(l)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CoreState describes one allocated core.
+type CoreState struct {
+	ID    CoreID
+	Level Level
+	Power Watts
+}
+
+// CheckInvariant recomputes the drawn power from scratch and verifies the
+// bookkeeping and the budget. Used by tests and assertions.
+func (c *Chip) CheckInvariant() error {
+	var sum Watts
+	used := 0
+	for _, l := range c.levels {
+		if l >= 0 {
+			if !l.Valid() {
+				return fmt.Errorf("cmp: core holds invalid level %d", int(l))
+			}
+			sum += c.model.Power(l)
+			used++
+		}
+	}
+	if used != c.inUse {
+		return fmt.Errorf("cmp: inUse=%d, recount=%d", c.inUse, used)
+	}
+	if !ApproxEqual(sum, c.drawn) {
+		return fmt.Errorf("cmp: drawn=%.6f, recount=%.6f", float64(c.drawn), float64(sum))
+	}
+	if sum > c.budget+1e-6 {
+		return fmt.Errorf("cmp: draw %.6fW exceeds budget %.6fW", float64(sum), float64(c.budget))
+	}
+	return nil
+}

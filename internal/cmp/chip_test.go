@@ -1,0 +1,231 @@
+package cmp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestChip(budget Watts) *Chip {
+	return NewChip(16, DefaultModel(), budget)
+}
+
+func TestAllocateReleaseAccounting(t *testing.T) {
+	c := newTestChip(100)
+	id, err := c.Allocate(MidLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.InUse() != 1 || c.Free() != 15 {
+		t.Errorf("InUse=%d Free=%d after one allocation", c.InUse(), c.Free())
+	}
+	if math.Abs(float64(c.Draw()-4.52)) > 1e-9 {
+		t.Errorf("Draw = %v, want 4.52", c.Draw())
+	}
+	if l, ok := c.Level(id); !ok || l != MidLevel {
+		t.Errorf("Level(%d) = %v,%v", id, l, ok)
+	}
+	if err := c.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if c.InUse() != 0 || c.Draw() != 0 {
+		t.Errorf("InUse=%d Draw=%v after release", c.InUse(), c.Draw())
+	}
+	if _, ok := c.Level(id); ok {
+		t.Error("released core still reports a level")
+	}
+}
+
+func TestAllocateRespectsBudget(t *testing.T) {
+	m := DefaultModel()
+	// Budget fits exactly three cores at 1.8 GHz (Table 2 of the paper).
+	c := NewChip(16, m, 13.56)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Allocate(MidLevel); err != nil {
+			t.Fatalf("allocation %d: %v", i, err)
+		}
+	}
+	if _, err := c.Allocate(0); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("fourth allocation error = %v, want ErrBudgetExceeded", err)
+	}
+	if err := c.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateNoFreeCore(t *testing.T) {
+	c := NewChip(2, DefaultModel(), 1000)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Allocate(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Allocate(0); !errors.Is(err, ErrNoFreeCore) {
+		t.Fatalf("error = %v, want ErrNoFreeCore", err)
+	}
+}
+
+func TestAllocateInvalidLevel(t *testing.T) {
+	c := newTestChip(100)
+	if _, err := c.Allocate(Level(42)); err == nil {
+		t.Fatal("invalid level accepted")
+	}
+}
+
+func TestSetLevelBudgetEnforced(t *testing.T) {
+	m := DefaultModel()
+	c := NewChip(16, m, 13.56)
+	ids := make([]CoreID, 3)
+	for i := range ids {
+		id, err := c.Allocate(MidLevel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// Raising any core past the budget must fail.
+	if err := c.SetLevel(ids[0], MaxLevel); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("raise error = %v, want ErrBudgetExceeded", err)
+	}
+	// Lower one core, then the freed power allows a raise elsewhere.
+	if err := c.SetLevel(ids[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	freed := m.Power(MidLevel) - m.Power(0)
+	target, ok := HighestAffordable(m, m.Power(MidLevel)+freed)
+	if !ok || target <= MidLevel {
+		t.Fatalf("unexpected affordable target %v", target)
+	}
+	if err := c.SetLevel(ids[0], target); err != nil {
+		t.Fatalf("raise after recycle: %v", err)
+	}
+	if err := c.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetLevelOnFreeCore(t *testing.T) {
+	c := newTestChip(100)
+	if err := c.SetLevel(3, MidLevel); err == nil {
+		t.Fatal("DVFS on free core accepted")
+	}
+}
+
+func TestReleaseFreeCore(t *testing.T) {
+	c := newTestChip(100)
+	if err := c.Release(0); err == nil {
+		t.Fatal("release of free core accepted")
+	}
+}
+
+func TestSetBudget(t *testing.T) {
+	c := newTestChip(100)
+	if _, err := c.Allocate(MaxLevel); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetBudget(c.Draw() - 1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("shrink below draw error = %v", err)
+	}
+	if err := c.SetBudget(c.Draw()); err != nil {
+		t.Fatalf("shrink to draw: %v", err)
+	}
+	if c.Headroom() > 1e-9 {
+		t.Errorf("headroom = %v, want 0", c.Headroom())
+	}
+}
+
+func TestHighestAffordableRaise(t *testing.T) {
+	m := DefaultModel()
+	c := NewChip(16, m, m.Power(MidLevel)+(m.Power(MidLevel+1)-m.Power(MidLevel))/2)
+	id, err := c.Allocate(MidLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Headroom is half a step: cannot raise.
+	l, ok := c.HighestAffordableRaise(id)
+	if !ok || l != MidLevel {
+		t.Errorf("HighestAffordableRaise = %v,%v; want %v,true", l, ok, MidLevel)
+	}
+	if _, ok := c.HighestAffordableRaise(5); ok {
+		t.Error("raise on free core reported ok")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	c := newTestChip(1000)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Allocate(Level(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = c.Release(2)
+	snap := c.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d cores, want 4", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].ID <= snap[i-1].ID {
+			t.Fatal("snapshot not sorted by core ID")
+		}
+	}
+}
+
+func TestNewChipValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero cores":  func() { NewChip(0, DefaultModel(), 10) },
+		"nil model":   func() { NewChip(4, nil, 10) },
+		"zero budget": func() { NewChip(4, DefaultModel(), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewChip did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: under any random sequence of allocate / release / DVFS actions,
+// the chip never exceeds its budget and its bookkeeping stays consistent.
+func TestPropertyBudgetInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		budget := Watts(5 + rng.Float64()*60)
+		c := NewChip(16, DefaultModel(), budget)
+		var held []CoreID
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				if id, err := c.Allocate(Level(rng.Intn(NumLevels))); err == nil {
+					held = append(held, id)
+				}
+			case 1:
+				if len(held) > 0 {
+					i := rng.Intn(len(held))
+					if err := c.Release(held[i]); err != nil {
+						return false
+					}
+					held = append(held[:i], held[i+1:]...)
+				}
+			case 2:
+				if len(held) > 0 {
+					id := held[rng.Intn(len(held))]
+					// Error (budget) is acceptable; corruption is not.
+					_ = c.SetLevel(id, Level(rng.Intn(NumLevels)))
+				}
+			}
+			if err := c.CheckInvariant(); err != nil {
+				t.Logf("invariant violated: %v", err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

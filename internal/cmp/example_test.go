@@ -1,0 +1,49 @@
+package cmp_test
+
+import (
+	"fmt"
+
+	"powerchief/internal/cmp"
+)
+
+// Example walks the power-recycling arithmetic at the heart of the paper:
+// freeing two donor cores to the DVFS floor pays for a third mid-frequency
+// instance within the 13.56 W Table 2 budget.
+func Example() {
+	m := cmp.DefaultModel()
+	chip := cmp.NewChip(16, m, 13.56)
+
+	// Stage-agnostic baseline: three instances at the medial 1.8 GHz.
+	a, _ := chip.Allocate(cmp.MidLevel)
+	b, _ := chip.Allocate(cmp.MidLevel)
+	if _, err := chip.Allocate(cmp.MidLevel); err != nil {
+		fmt.Println(err)
+	}
+	fmt.Printf("draw %.2fW of %.2fW, headroom %.2fW\n",
+		float64(chip.Draw()), float64(chip.Budget()), float64(chip.Headroom()))
+
+	// A fourth instance at 1.8 GHz does not fit...
+	_, err := chip.Allocate(cmp.MidLevel)
+	fmt.Println("clone without recycling:", err != nil)
+
+	// ...until power is recycled from two donors down to the floor.
+	chip.SetLevel(a, 0)
+	chip.SetLevel(b, 0)
+	_, err = chip.Allocate(cmp.MidLevel)
+	fmt.Println("clone after recycling:", err == nil)
+	// Output:
+	// draw 13.56W of 13.56W, headroom 0.00W
+	// clone without recycling: true
+	// clone after recycling: true
+}
+
+// ExampleAlpha shows the offline-profiling ratio α of Equation 3.
+func ExampleAlpha() {
+	cpuBound := cmp.NewRooflineProfile(0)
+	memBound := cmp.NewRooflineProfile(0.8)
+	fmt.Printf("CPU-bound 1.2→2.4GHz: exec time ×%.2f\n", cmp.Alpha(cpuBound, 0, cmp.MaxLevel))
+	fmt.Printf("mem-bound 1.2→2.4GHz: exec time ×%.2f\n", cmp.Alpha(memBound, 0, cmp.MaxLevel))
+	// Output:
+	// CPU-bound 1.2→2.4GHz: exec time ×0.50
+	// mem-bound 1.2→2.4GHz: exec time ×0.90
+}

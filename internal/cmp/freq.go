@@ -1,0 +1,80 @@
+// Package cmp models the power-constrained chip multiprocessor that
+// PowerChief manages: a set of cores with per-core DVFS over a discrete
+// frequency ladder, an analytic per-core power model, per-service
+// frequency-speedup profiles (the paper's "offline profiling"), and a Chip
+// that enforces a hard power budget over every allocation and DVFS action.
+//
+// The evaluation platform of the paper (Intel Xeon E5-2630v3, Haswell) is
+// simulated: 16 physical cores, frequencies adjustable from 1.2 GHz to
+// 2.4 GHz in 0.1 GHz steps with fast (sub-microsecond) transitions, and the
+// core-level power model the paper borrows from Adrenaline [22].
+package cmp
+
+import "fmt"
+
+// GHz expresses a core frequency in gigahertz.
+type GHz float64
+
+// The frequency ladder of the simulated Haswell part (§8.1 of the paper).
+const (
+	MinGHz  GHz = 1.2
+	MaxGHz  GHz = 2.4
+	StepGHz GHz = 0.1
+)
+
+// Level indexes the discrete frequency ladder: level 0 is MinGHz, the highest
+// level is MaxGHz.
+type Level int
+
+// NumLevels is the number of discrete frequency levels (1.2 .. 2.4 by 0.1).
+const NumLevels = 13
+
+// MaxLevel is the highest valid frequency level.
+const MaxLevel Level = NumLevels - 1
+
+// MidLevel is the level of the 1.8 GHz "medial frequency" the paper uses for
+// the stage-agnostic baseline (Table 2).
+const MidLevel Level = 6
+
+// Valid reports whether l is within the ladder.
+func (l Level) Valid() bool { return l >= 0 && l < NumLevels }
+
+// GHz returns the frequency of the level.
+func (l Level) GHz() GHz {
+	if !l.Valid() {
+		panic(fmt.Sprintf("cmp: invalid frequency level %d", int(l)))
+	}
+	// Computed from integers so each level maps to the nearest double of its
+	// decimal frequency (1.2 + 0.1·l accumulates float error).
+	return GHz(float64(12+int(l)) / 10)
+}
+
+// String formats the level as its frequency, e.g. "1.8GHz".
+func (l Level) String() string {
+	if !l.Valid() {
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+	return fmt.Sprintf("%.1fGHz", float64(l.GHz()))
+}
+
+// LevelOf returns the highest level whose frequency does not exceed f,
+// clamping to the ladder bounds.
+func LevelOf(f GHz) Level {
+	if f <= MinGHz {
+		return 0
+	}
+	if f >= MaxGHz {
+		return MaxLevel
+	}
+	// Add a half step so 1.7999999 maps to 1.8.
+	return Level((f - MinGHz + StepGHz/2) / StepGHz)
+}
+
+// Levels returns the full ladder, lowest first.
+func Levels() []Level {
+	out := make([]Level, NumLevels)
+	for i := range out {
+		out[i] = Level(i)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package cmp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelGHz(t *testing.T) {
+	cases := []struct {
+		l Level
+		f GHz
+	}{
+		{0, 1.2},
+		{MidLevel, 1.8},
+		{MaxLevel, 2.4},
+		{1, 1.3},
+	}
+	for _, c := range cases {
+		if got := c.l.GHz(); math.Abs(float64(got-c.f)) > 1e-9 {
+			t.Errorf("Level(%d).GHz() = %v, want %v", c.l, got, c.f)
+		}
+	}
+}
+
+func TestLevelValid(t *testing.T) {
+	if Level(-1).Valid() {
+		t.Error("Level(-1) reported valid")
+	}
+	if Level(NumLevels).Valid() {
+		t.Error("Level(NumLevels) reported valid")
+	}
+	for l := Level(0); l < NumLevels; l++ {
+		if !l.Valid() {
+			t.Errorf("Level(%d) reported invalid", l)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if got := MidLevel.String(); got != "1.8GHz" {
+		t.Errorf("MidLevel.String() = %q, want 1.8GHz", got)
+	}
+	if got := Level(-3).String(); got != "Level(-3)" {
+		t.Errorf("invalid level String() = %q", got)
+	}
+}
+
+func TestLevelOfRoundTrip(t *testing.T) {
+	for l := Level(0); l < NumLevels; l++ {
+		if got := LevelOf(l.GHz()); got != l {
+			t.Errorf("LevelOf(%v) = %v, want %v", l.GHz(), got, l)
+		}
+	}
+}
+
+func TestLevelOfClamping(t *testing.T) {
+	if got := LevelOf(0.8); got != 0 {
+		t.Errorf("LevelOf(0.8) = %v, want 0", got)
+	}
+	if got := LevelOf(3.6); got != MaxLevel {
+		t.Errorf("LevelOf(3.6) = %v, want MaxLevel", got)
+	}
+	// Mid-step values round down to the nearest level at or below.
+	if got := LevelOf(1.84); got != MidLevel {
+		t.Errorf("LevelOf(1.84) = %v, want %v", got, MidLevel)
+	}
+}
+
+func TestLevelsLadder(t *testing.T) {
+	ls := Levels()
+	if len(ls) != NumLevels {
+		t.Fatalf("Levels() returned %d entries, want %d", len(ls), NumLevels)
+	}
+	for i, l := range ls {
+		if int(l) != i {
+			t.Errorf("Levels()[%d] = %v", i, l)
+		}
+	}
+}
+
+func TestGHzPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Level(99).GHz() did not panic")
+		}
+	}()
+	_ = Level(99).GHz()
+}
+
+// Property: LevelOf is monotone nondecreasing in frequency.
+func TestPropertyLevelOfMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		fa := GHz(math.Abs(math.Mod(a, 4)))
+		fb := GHz(math.Abs(math.Mod(b, 4)))
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return LevelOf(fa) <= LevelOf(fb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

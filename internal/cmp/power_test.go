@@ -1,0 +1,137 @@
+package cmp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultModelCalibration(t *testing.T) {
+	m := DefaultModel()
+	// Calibration point: P(1.8 GHz) = 4.52 W, so 3 stage instances at the
+	// medial frequency exactly fill the paper's 13.56 W budget.
+	if p := m.Power(MidLevel); math.Abs(float64(p)-4.52) > 1e-9 {
+		t.Errorf("P(1.8GHz) = %v, want 4.52", p)
+	}
+	if got := 3 * m.Power(MidLevel); math.Abs(float64(got)-13.56) > 1e-9 {
+		t.Errorf("3×P(1.8GHz) = %v, want 13.56", got)
+	}
+}
+
+func TestDefaultModelMonotoneIncreasing(t *testing.T) {
+	m := DefaultModel()
+	for l := Level(1); l < NumLevels; l++ {
+		if m.Power(l) <= m.Power(l-1) {
+			t.Errorf("P(%v)=%v not greater than P(%v)=%v", l, m.Power(l), l-1, m.Power(l-1))
+		}
+	}
+}
+
+func TestDefaultModelConvex(t *testing.T) {
+	// Dynamic power ∝ V²f makes the marginal cost of a frequency step grow
+	// with frequency; the recycling algorithms exploit this shape.
+	m := DefaultModel()
+	prev := m.Power(1) - m.Power(0)
+	for l := Level(2); l < NumLevels; l++ {
+		step := m.Power(l) - m.Power(l-1)
+		if step < prev-1e-9 {
+			t.Errorf("marginal cost shrank at %v: %v < %v", l, step, prev)
+		}
+		prev = step
+	}
+}
+
+func TestMinMaxPower(t *testing.T) {
+	m := DefaultModel()
+	if m.MinPower() != m.Power(0) {
+		t.Error("MinPower mismatch")
+	}
+	if m.MaxPower() != m.Power(MaxLevel) {
+		t.Error("MaxPower mismatch")
+	}
+}
+
+func TestTableModelValidate(t *testing.T) {
+	var tm TableModel
+	for l := Level(0); l < NumLevels; l++ {
+		tm[l] = Watts(1 + float64(l))
+	}
+	if err := tm.Validate(); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	bad := tm
+	bad[4] = bad[3] // not increasing
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-increasing table accepted")
+	}
+	bad2 := tm
+	bad2[0] = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("non-positive table accepted")
+	}
+	if tm.Power(2) != 3 {
+		t.Errorf("table Power(2) = %v, want 3", tm.Power(2))
+	}
+	if tm.MinPower() != 1 || tm.MaxPower() != Watts(NumLevels) {
+		t.Error("table Min/MaxPower mismatch")
+	}
+}
+
+func TestHighestAffordable(t *testing.T) {
+	m := DefaultModel()
+	// Exactly the power of 1.8 GHz affords 1.8 GHz.
+	l, ok := HighestAffordable(m, m.Power(MidLevel))
+	if !ok || l != MidLevel {
+		t.Errorf("HighestAffordable(P(1.8)) = %v,%v; want %v,true", l, ok, MidLevel)
+	}
+	// A hair less affords one level lower.
+	l, ok = HighestAffordable(m, m.Power(MidLevel)-0.001)
+	if !ok || l != MidLevel-1 {
+		t.Errorf("HighestAffordable(P(1.8)-ε) = %v,%v; want %v,true", l, ok, MidLevel-1)
+	}
+	// Less than the minimum power affords nothing.
+	if _, ok := HighestAffordable(m, m.MinPower()-0.01); ok {
+		t.Error("HighestAffordable below MinPower returned ok")
+	}
+	// A huge budget affords the maximum.
+	l, ok = HighestAffordable(m, 1000)
+	if !ok || l != MaxLevel {
+		t.Errorf("HighestAffordable(1000) = %v,%v; want MaxLevel,true", l, ok)
+	}
+}
+
+func TestBoostCostSigns(t *testing.T) {
+	m := DefaultModel()
+	if BoostCost(m, 0, MaxLevel) <= 0 {
+		t.Error("raising cost not positive")
+	}
+	if BoostCost(m, MaxLevel, 0) >= 0 {
+		t.Error("lowering cost not negative")
+	}
+	if BoostCost(m, 5, 5) != 0 {
+		t.Error("no-op cost not zero")
+	}
+}
+
+// Property: HighestAffordable(m, b) returns the greatest level with
+// P(level) ≤ b, for arbitrary budgets.
+func TestPropertyHighestAffordableIsMaximal(t *testing.T) {
+	m := DefaultModel()
+	f := func(raw float64) bool {
+		b := Watts(math.Abs(math.Mod(raw, 20)))
+		l, ok := HighestAffordable(m, b)
+		if !ok {
+			return m.Power(0) > b
+		}
+		if m.Power(l) > b+1e-9 {
+			return false
+		}
+		if l < MaxLevel && m.Power(l+1) <= b+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

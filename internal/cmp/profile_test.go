@@ -1,0 +1,123 @@
+package cmp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRooflineProfileBounds(t *testing.T) {
+	p := NewRooflineProfile(0.3)
+	if r := p.ExecRatio(0); math.Abs(r-1) > 1e-12 {
+		t.Errorf("ExecRatio(min) = %v, want 1", r)
+	}
+	// At max frequency: 0.7·(1.2/2.4) + 0.3 = 0.65.
+	if r := p.ExecRatio(MaxLevel); math.Abs(r-0.65) > 1e-9 {
+		t.Errorf("ExecRatio(max) = %v, want 0.65", r)
+	}
+}
+
+func TestRooflineCPUBoundIsLinear(t *testing.T) {
+	p := NewRooflineProfile(0)
+	// Perfectly CPU-bound: exec time scales as f_min/f.
+	if s := Speedup(p, 0, MaxLevel); math.Abs(s-2.0) > 1e-9 {
+		t.Errorf("CPU-bound speedup min→max = %v, want 2.0", s)
+	}
+}
+
+func TestRooflineFullyMemBoundGainsNothing(t *testing.T) {
+	p := NewRooflineProfile(1)
+	for l := Level(0); l < NumLevels; l++ {
+		if r := p.ExecRatio(l); math.Abs(r-1) > 1e-12 {
+			t.Errorf("mem-bound ExecRatio(%v) = %v, want 1", l, r)
+		}
+	}
+}
+
+func TestRooflineMonotoneDecreasing(t *testing.T) {
+	for _, m := range []float64{0, 0.15, 0.4, 0.8} {
+		p := NewRooflineProfile(m)
+		for l := Level(1); l < NumLevels; l++ {
+			if p.ExecRatio(l) > p.ExecRatio(l-1)+1e-12 {
+				t.Errorf("m=%v: ratio increases at %v", m, l)
+			}
+		}
+	}
+}
+
+func TestNewRooflineProfileValidates(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRooflineProfile(%v) did not panic", bad)
+				}
+			}()
+			NewRooflineProfile(bad)
+		}()
+	}
+}
+
+func TestAlphaAndSpeedupInverse(t *testing.T) {
+	p := NewRooflineProfile(0.25)
+	a := Alpha(p, MidLevel, MaxLevel)
+	s := Speedup(p, MidLevel, MaxLevel)
+	if math.Abs(a*s-1) > 1e-12 {
+		t.Errorf("Alpha·Speedup = %v, want 1", a*s)
+	}
+	if a >= 1 {
+		t.Errorf("upward Alpha = %v, want < 1", a)
+	}
+}
+
+func TestTableProfileValidate(t *testing.T) {
+	var tp TableProfile
+	for l := Level(0); l < NumLevels; l++ {
+		tp[l] = 1 - 0.02*float64(l)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	if got := tp.ExecRatio(3); math.Abs(got-0.94) > 1e-12 {
+		t.Errorf("ExecRatio(3) = %v", got)
+	}
+
+	bad := tp
+	bad[0] = 0.9
+	if bad.Validate() == nil {
+		t.Error("profile with ExecRatio(0) != 1 accepted")
+	}
+	bad2 := tp
+	bad2[5] = bad2[4] + 0.1
+	if bad2.Validate() == nil {
+		t.Error("increasing profile accepted")
+	}
+	bad3 := tp
+	bad3[MaxLevel] = -0.1
+	if bad3.Validate() == nil {
+		t.Error("negative profile accepted")
+	}
+}
+
+// Property: for any mem-bound fraction and any pair of levels l ≤ h, alpha is
+// in (0, 1] and speedup never exceeds the frequency ratio.
+func TestPropertyAlphaBounded(t *testing.T) {
+	f := func(mRaw float64, li, hi uint8) bool {
+		m := math.Abs(math.Mod(mRaw, 1))
+		p := NewRooflineProfile(m)
+		l := Level(int(li) % NumLevels)
+		h := Level(int(hi) % NumLevels)
+		if l > h {
+			l, h = h, l
+		}
+		a := Alpha(p, l, h)
+		if a <= 0 || a > 1+1e-12 {
+			return false
+		}
+		fratio := float64(h.GHz() / l.GHz())
+		return Speedup(p, l, h) <= fratio+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

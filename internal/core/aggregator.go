@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"powerchief/internal/query"
+	"powerchief/internal/stats"
+)
+
+// Aggregator is the statistics half of the Command Center. Completed queries
+// arrive carrying the latency records every instance appended on the way
+// (the service/query joint design, §4.1); the aggregator folds them into
+// per-instance moving windows of queuing and serving time, plus an
+// end-to-end latency window for the QoS policies. All statistics are
+// computed from instance-local timestamps, so no clock synchronization
+// between machines is assumed.
+// Aggregator is safe for concurrent use: in the live engine, completions
+// arrive from instance goroutines while the controller reads statistics.
+type Aggregator struct {
+	window time.Duration
+	now    func() time.Duration
+
+	mu       sync.Mutex
+	perInst  map[string]*instStats
+	e2e      *stats.Window
+	ingested uint64
+}
+
+// instStats holds one instance's windowed and lifetime statistics. The
+// lifetime means serve as fallback when a window goes empty — e.g. a fully
+// saturated bottleneck that has not completed a query in the current window
+// still needs a serving-time estimate for Equations 2 and 3.
+type instStats struct {
+	queuing *stats.Window
+	serving *stats.Window
+
+	lifeCount   uint64
+	lifeQueuing time.Duration
+	lifeServing time.Duration
+}
+
+// NewAggregator creates an aggregator with the given moving-window span,
+// reading time from now (the simulation clock or wall clock).
+func NewAggregator(window time.Duration, now func() time.Duration) *Aggregator {
+	if window <= 0 {
+		panic("core: aggregator window must be positive")
+	}
+	if now == nil {
+		panic("core: aggregator needs a clock")
+	}
+	return &Aggregator{
+		window:  window,
+		now:     now,
+		perInst: make(map[string]*instStats),
+		e2e:     stats.NewWindow(window),
+	}
+}
+
+// Ingest folds a completed query's records into the statistics. It is the
+// OnComplete callback of the service system.
+func (a *Aggregator) Ingest(q *query.Query) {
+	now := a.now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ingested++
+	for _, r := range q.Records {
+		is, ok := a.perInst[r.Instance]
+		if !ok {
+			is = &instStats{
+				queuing: stats.NewWindow(a.window),
+				serving: stats.NewWindow(a.window),
+			}
+			a.perInst[r.Instance] = is
+		}
+		is.queuing.Add(now, r.Queuing())
+		is.serving.Add(now, r.Serving())
+		is.lifeCount++
+		is.lifeQueuing += r.Queuing()
+		is.lifeServing += r.Serving()
+	}
+	a.e2e.Add(now, q.Latency())
+}
+
+// Ingested returns the number of completed queries folded in.
+func (a *Aggregator) Ingested() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ingested
+}
+
+// InstStats returns the moving-window mean queuing and serving time of the
+// named instance. When the window is empty the lifetime means are used; an
+// instance never seen reports zeros with ok=false.
+func (a *Aggregator) InstStats(name string) (queuing, serving time.Duration, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	is, found := a.perInst[name]
+	if !found {
+		return 0, 0, false
+	}
+	now := a.now()
+	is.queuing.Advance(now)
+	is.serving.Advance(now)
+	if q, has := is.queuing.Mean(); has {
+		s, _ := is.serving.Mean()
+		return q, s, true
+	}
+	if is.lifeCount == 0 {
+		return 0, 0, false
+	}
+	n := time.Duration(is.lifeCount)
+	return is.lifeQueuing / n, is.lifeServing / n, true
+}
+
+// WindowLatency returns the moving-window mean end-to-end latency, used by
+// the QoS power-conservation policies to judge slack against the target.
+func (a *Aggregator) WindowLatency() (time.Duration, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.e2e.Advance(a.now())
+	return a.e2e.Mean()
+}
+
+// WindowTail returns the moving-window p-quantile end-to-end latency.
+func (a *Aggregator) WindowTail(p float64) (time.Duration, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.e2e.Advance(a.now())
+	return a.e2e.Percentile(p)
+}
+
+// Forget removes a withdrawn instance's statistics so stale history cannot
+// skew future rankings if the name is reused.
+func (a *Aggregator) Forget(name string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.perInst, name)
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"powerchief/internal/query"
+)
+
+// fakeClock is a settable time source for aggregator tests.
+type fakeClock struct{ now time.Duration }
+
+func (f *fakeClock) Now() time.Duration { return f.now }
+
+func completedQuery(id query.ID, arrival, done time.Duration, recs ...query.Record) *query.Query {
+	q := query.New(id, arrival, nil)
+	for _, r := range recs {
+		q.Append(r)
+	}
+	q.Done = done
+	return q
+}
+
+func TestAggregatorPerInstanceStats(t *testing.T) {
+	clk := &fakeClock{}
+	agg := NewAggregator(25*time.Second, clk.Now)
+
+	clk.now = 10 * time.Second
+	agg.Ingest(completedQuery(1, 9*time.Second, 10*time.Second,
+		query.Record{Query: 1, Stage: "QA", Instance: "QA_1", QueueEnter: 0, ServeStart: 100 * time.Millisecond, ServeEnd: 400 * time.Millisecond},
+	))
+	agg.Ingest(completedQuery(2, 9*time.Second, 10*time.Second,
+		query.Record{Query: 2, Stage: "QA", Instance: "QA_1", QueueEnter: 0, ServeStart: 300 * time.Millisecond, ServeEnd: 800 * time.Millisecond},
+	))
+	q, s, ok := agg.InstStats("QA_1")
+	if !ok {
+		t.Fatal("stats missing for QA_1")
+	}
+	if q != 200*time.Millisecond {
+		t.Errorf("mean queuing = %v, want 200ms", q)
+	}
+	if s != 400*time.Millisecond {
+		t.Errorf("mean serving = %v, want 400ms", s)
+	}
+	if agg.Ingested() != 2 {
+		t.Errorf("Ingested = %d", agg.Ingested())
+	}
+}
+
+func TestAggregatorUnknownInstance(t *testing.T) {
+	agg := NewAggregator(time.Second, (&fakeClock{}).Now)
+	if _, _, ok := agg.InstStats("ghost"); ok {
+		t.Error("unknown instance reported stats")
+	}
+}
+
+func TestAggregatorLifetimeFallback(t *testing.T) {
+	clk := &fakeClock{}
+	agg := NewAggregator(25*time.Second, clk.Now)
+	clk.now = 10 * time.Second
+	agg.Ingest(completedQuery(1, 9*time.Second, 10*time.Second,
+		query.Record{Query: 1, Stage: "QA", Instance: "QA_1", QueueEnter: 0, ServeStart: time.Second, ServeEnd: 2 * time.Second},
+	))
+	// Window drains after 25s with no new completions (a saturated
+	// bottleneck): lifetime means must still be served.
+	clk.now = 100 * time.Second
+	q, s, ok := agg.InstStats("QA_1")
+	if !ok {
+		t.Fatal("fallback stats missing")
+	}
+	if q != time.Second || s != time.Second {
+		t.Errorf("fallback q/s = %v/%v, want 1s/1s", q, s)
+	}
+}
+
+func TestAggregatorWindowEviction(t *testing.T) {
+	clk := &fakeClock{}
+	agg := NewAggregator(10*time.Second, clk.Now)
+	clk.now = time.Second
+	agg.Ingest(completedQuery(1, 0, time.Second,
+		query.Record{Instance: "A_1", QueueEnter: 0, ServeStart: 0, ServeEnd: 100 * time.Millisecond},
+	))
+	clk.now = 20 * time.Second
+	agg.Ingest(completedQuery(2, 19*time.Second, 20*time.Second,
+		query.Record{Instance: "A_1", QueueEnter: 0, ServeStart: 0, ServeEnd: 300 * time.Millisecond},
+	))
+	// The first record fell out of the 10s window: the mean reflects only
+	// the second.
+	_, s, _ := agg.InstStats("A_1")
+	if s != 300*time.Millisecond {
+		t.Errorf("windowed serving = %v, want 300ms", s)
+	}
+}
+
+func TestAggregatorEndToEndLatency(t *testing.T) {
+	clk := &fakeClock{}
+	agg := NewAggregator(25*time.Second, clk.Now)
+	if _, ok := agg.WindowLatency(); ok {
+		t.Error("empty aggregator reported latency")
+	}
+	clk.now = 5 * time.Second
+	agg.Ingest(completedQuery(1, 4*time.Second, 5*time.Second))
+	agg.Ingest(completedQuery(2, 2*time.Second, 5*time.Second))
+	lat, ok := agg.WindowLatency()
+	if !ok || lat != 2*time.Second {
+		t.Errorf("WindowLatency = %v,%v; want 2s", lat, ok)
+	}
+	tail, ok := agg.WindowTail(0.99)
+	if !ok || tail != 3*time.Second {
+		t.Errorf("WindowTail = %v,%v; want 3s", tail, ok)
+	}
+}
+
+func TestAggregatorForget(t *testing.T) {
+	clk := &fakeClock{}
+	agg := NewAggregator(time.Minute, clk.Now)
+	agg.Ingest(completedQuery(1, 0, 0,
+		query.Record{Instance: "A_1", ServeEnd: time.Millisecond},
+	))
+	agg.Forget("A_1")
+	if _, _, ok := agg.InstStats("A_1"); ok {
+		t.Error("forgotten instance still has stats")
+	}
+}
+
+func TestNewAggregatorValidates(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero window": func() { NewAggregator(0, (&fakeClock{}).Now) },
+		"nil clock":   func() { NewAggregator(time.Second, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"powerchief/internal/cmp"
+)
+
+func TestEstimateInstBoostHalvesQueuing(t *testing.T) {
+	r := Ranked{QueueLen: 11, Queuing: 100 * time.Millisecond, Serving: 200 * time.Millisecond}
+	// (11-1)·300/2 + 200 = 1700ms.
+	if got := EstimateInstBoost(r); got != 1700*time.Millisecond {
+		t.Errorf("T_inst = %v, want 1.7s", got)
+	}
+	// Empty instance: just the serving time.
+	empty := Ranked{QueueLen: 0, Serving: 50 * time.Millisecond}
+	if got := EstimateInstBoost(empty); got != 50*time.Millisecond {
+		t.Errorf("T_inst(empty) = %v", got)
+	}
+}
+
+func TestEstimateFreqBoostScalesWholeDelay(t *testing.T) {
+	p := cmp.NewRooflineProfile(0) // CPU-bound
+	r := Ranked{QueueLen: 11, Queuing: 100 * time.Millisecond, Serving: 200 * time.Millisecond}
+	// Full delay = (11-1)·300 + 200 = 3200ms; α(1.2→2.4) = 0.5 → 1600ms.
+	if got := EstimateFreqBoost(r, p, 0, cmp.MaxLevel); got != 1600*time.Millisecond {
+		t.Errorf("T_freq = %v, want 1.6s", got)
+	}
+	// Same level: no change.
+	if got := EstimateFreqBoost(r, p, cmp.MidLevel, cmp.MidLevel); got != 3200*time.Millisecond {
+		t.Errorf("T_freq(no-op) = %v, want 3.2s", got)
+	}
+	empty := Ranked{QueueLen: 0, Serving: 100 * time.Millisecond}
+	if got := EstimateFreqBoost(empty, p, 0, cmp.MaxLevel); got != 50*time.Millisecond {
+		t.Errorf("T_freq(empty) = %v", got)
+	}
+}
+
+func TestCrossoverInstanceWinsUnderDeepQueue(t *testing.T) {
+	// The §2.3 observation: at high load (deep queue, queuing-dominated)
+	// instance boosting wins; at low load frequency boosting wins.
+	p := cmp.NewRooflineProfile(0.25)
+	deep := Ranked{QueueLen: 30, Queuing: 150 * time.Millisecond, Serving: 300 * time.Millisecond}
+	ti := EstimateInstBoost(deep)
+	tf := EstimateFreqBoost(deep, p, cmp.MidLevel, cmp.MaxLevel)
+	if ti >= tf {
+		t.Errorf("deep queue: T_inst=%v should beat T_freq=%v", ti, tf)
+	}
+	// Shallow queue at a low frequency: doubling the clock (α = 0.5 for a
+	// CPU-bound service) beats halving a two-query wait.
+	cpu := cmp.NewRooflineProfile(0)
+	shallow := Ranked{QueueLen: 3, Queuing: 1 * time.Millisecond, Serving: 300 * time.Millisecond}
+	ti = EstimateInstBoost(shallow)
+	tf = EstimateFreqBoost(shallow, cpu, 0, cmp.MaxLevel)
+	if tf >= ti {
+		t.Errorf("shallow queue: T_freq=%v should beat T_inst=%v", tf, ti)
+	}
+}
+
+// rankedFor builds a ranking from the fake system with injected stats.
+func rankedFor(sys *fakeSystem, agg *Aggregator) []Ranked {
+	return Identifier{Metric: MetricExpectedDelay}.Rank(sys, agg)
+}
+
+func TestSelectBoostingChoosesInstanceUnderBurst(t *testing.T) {
+	sys := newFakeSystem(100, 8, cmp.MidLevel, "ASR", "QA")
+	agg := aggWith(sys, 25*time.Second)
+	ingestStats(agg, "QA_1", 400*time.Millisecond, 400*time.Millisecond)
+	ingestStats(agg, "ASR_1", 10*time.Millisecond, 100*time.Millisecond)
+	sys.inst("QA_1").queueLen = 20
+
+	out := Engine{}.SelectBoosting(sys, rankedFor(sys, agg))
+	if out.Kind != BoostInstance {
+		t.Fatalf("decision = %v (Ti=%v Tf=%v), want inst-boost", out.Kind, out.TInst, out.TFreq)
+	}
+	if out.NewInstance == "" {
+		t.Error("no clone name reported")
+	}
+	if len(sys.stage("QA").ins) != 2 {
+		t.Error("clone not added to the stage")
+	}
+	// The clone stole half the queue.
+	if sys.inst("QA_1").queueLen != 10 {
+		t.Errorf("bottleneck queue after clone = %d, want 10", sys.inst("QA_1").queueLen)
+	}
+}
+
+func TestSelectBoostingPrefersFreqForShortQueue(t *testing.T) {
+	sys := newFakeSystem(100, 8, cmp.MidLevel, "ASR", "QA")
+	agg := aggWith(sys, 25*time.Second)
+	ingestStats(agg, "QA_1", 0, 500*time.Millisecond)
+	ingestStats(agg, "ASR_1", 0, 100*time.Millisecond)
+	sys.inst("QA_1").queueLen = 2 // ql ≤ 2 → frequency boosting (Alg. 1 line 14)
+
+	out := Engine{}.SelectBoosting(sys, rankedFor(sys, agg))
+	if out.Kind != BoostFrequency {
+		t.Fatalf("decision = %v, want freq-boost", out.Kind)
+	}
+	if got := sys.inst("QA_1").level; got <= cmp.MidLevel {
+		t.Errorf("bottleneck level = %v, not raised", got)
+	}
+	if out.NewLevel != sys.inst("QA_1").level {
+		t.Error("outcome level mismatch")
+	}
+}
+
+func TestSelectBoostingRecyclesWhenNoHeadroom(t *testing.T) {
+	m := cmp.DefaultModel()
+	// Budget exactly covers two mid-level cores: zero headroom.
+	sys := newFakeSystem(2*m.Power(cmp.MidLevel), 8, cmp.MidLevel, "ASR", "QA")
+	agg := aggWith(sys, 25*time.Second)
+	ingestStats(agg, "QA_1", 0, 500*time.Millisecond)
+	ingestStats(agg, "ASR_1", 0, 50*time.Millisecond)
+	sys.inst("QA_1").queueLen = 2
+
+	out := Engine{}.SelectBoosting(sys, rankedFor(sys, agg))
+	if out.Kind != BoostFrequency {
+		t.Fatalf("decision = %v, want freq-boost", out.Kind)
+	}
+	if out.Recycled <= 0 {
+		t.Error("no power recycled despite zero headroom")
+	}
+	// Power came from the fastest instance (ASR_1), which stepped down.
+	if sys.inst("ASR_1").level >= cmp.MidLevel {
+		t.Errorf("donor level = %v, not lowered", sys.inst("ASR_1").level)
+	}
+	if sys.Draw() > sys.Budget()+1e-9 {
+		t.Error("budget exceeded after boost")
+	}
+}
+
+func TestSelectBoostingSplitClonesWhenCloneUnaffordable(t *testing.T) {
+	m := cmp.DefaultModel()
+	// Tight budget: cloning at mid level (4.52W) cannot fit even after
+	// recycling the one donor down to the floor, but splitting the
+	// bottleneck's power across two lower-frequency instances does.
+	sys := newFakeSystem(2*m.Power(cmp.MidLevel)+0.5, 8, cmp.MidLevel, "ASR", "QA")
+	agg := aggWith(sys, 25*time.Second)
+	ingestStats(agg, "QA_1", 300*time.Millisecond, 300*time.Millisecond)
+	ingestStats(agg, "ASR_1", 0, 50*time.Millisecond)
+	sys.inst("QA_1").queueLen = 25 // deep queue: wants an instance
+
+	out := Engine{}.SelectBoosting(sys, rankedFor(sys, agg))
+	if out.Kind != BoostInstance {
+		t.Fatalf("decision = %v, want split-clone instance boost", out.Kind)
+	}
+	if len(sys.stage("QA").ins) != 2 {
+		t.Fatal("no clone appeared")
+	}
+	if got := sys.inst("QA_1").level; got >= cmp.MidLevel {
+		t.Errorf("bottleneck level = %v, want lowered for the split", got)
+	}
+	if sys.Draw() > sys.Budget()+1e-9 {
+		t.Error("budget exceeded")
+	}
+}
+
+func TestSelectBoostingFreqFallbackWhenSplitImpossible(t *testing.T) {
+	m := cmp.DefaultModel()
+	// Bottleneck already at the floor: a split cannot go lower, and the
+	// headroom covers a small frequency raise but not a floor-level clone
+	// (lines 11-12 of Algorithm 1).
+	sys := newFakeSystem(2*m.Power(0)+1.0, 8, 0, "ASR", "QA")
+	agg := aggWith(sys, 25*time.Second)
+	ingestStats(agg, "QA_1", 300*time.Millisecond, 300*time.Millisecond)
+	ingestStats(agg, "ASR_1", 0, 50*time.Millisecond)
+	sys.inst("QA_1").queueLen = 25
+
+	out := Engine{}.SelectBoosting(sys, rankedFor(sys, agg))
+	if out.Kind != BoostFrequency {
+		t.Fatalf("decision = %v, want freq-boost fallback", out.Kind)
+	}
+	if len(sys.stage("QA").ins) != 1 {
+		t.Error("clone appeared despite insufficient power")
+	}
+	if sys.Draw() > sys.Budget()+1e-9 {
+		t.Error("budget exceeded")
+	}
+}
+
+func TestSelectBoostingNoFreeCoreUsesFrequency(t *testing.T) {
+	sys := newFakeSystem(100, 0, cmp.MidLevel, "QA") // no free cores
+	agg := aggWith(sys, 25*time.Second)
+	ingestStats(agg, "QA_1", 300*time.Millisecond, 300*time.Millisecond)
+	sys.inst("QA_1").queueLen = 25
+
+	out := Engine{}.SelectBoosting(sys, rankedFor(sys, agg))
+	if out.Kind != BoostFrequency {
+		t.Fatalf("decision = %v, want freq-boost when no core is free", out.Kind)
+	}
+}
+
+func TestSelectBoostingBottleneckAtMaxDeepQueueClones(t *testing.T) {
+	sys := newFakeSystem(100, 8, cmp.MaxLevel, "ASR", "QA")
+	agg := aggWith(sys, 25*time.Second)
+	ingestStats(agg, "QA_1", 300*time.Millisecond, 300*time.Millisecond)
+	ingestStats(agg, "ASR_1", 0, 50*time.Millisecond)
+	sys.inst("QA_1").queueLen = 25
+
+	// At max level α = 1, so T_freq equals the unboosted delay and instance
+	// boosting must win.
+	out := Engine{}.SelectBoosting(sys, rankedFor(sys, agg))
+	if out.Kind != BoostInstance {
+		t.Fatalf("decision = %v, want inst-boost at max frequency", out.Kind)
+	}
+}
+
+func TestSelectBoostingNothingToDo(t *testing.T) {
+	sys := newFakeSystem(100, 0, cmp.MaxLevel, "QA") // max level, no cores
+	agg := aggWith(sys, 25*time.Second)
+	ingestStats(agg, "QA_1", 0, 300*time.Millisecond)
+	sys.inst("QA_1").queueLen = 1
+
+	out := Engine{}.SelectBoosting(sys, rankedFor(sys, agg))
+	if out.Kind != BoostNone {
+		t.Fatalf("decision = %v, want none", out.Kind)
+	}
+}
+
+func TestFreqBoostToMaxRecyclesAggressively(t *testing.T) {
+	m := cmp.DefaultModel()
+	sys := newFakeSystem(3*m.Power(cmp.MidLevel), 8, cmp.MidLevel, "ASR", "IMM", "QA")
+	agg := aggWith(sys, 25*time.Second)
+	ingestStats(agg, "QA_1", 200*time.Millisecond, 500*time.Millisecond)
+	ingestStats(agg, "IMM_1", 0, 50*time.Millisecond)
+	ingestStats(agg, "ASR_1", 10*time.Millisecond, 200*time.Millisecond)
+	sys.inst("QA_1").queueLen = 5
+
+	out := Engine{}.FreqBoostToMax(sys, rankedFor(sys, agg))
+	if out.Kind != BoostFrequency {
+		t.Fatalf("decision = %v", out.Kind)
+	}
+	qa := sys.inst("QA_1").level
+	if qa <= cmp.MidLevel {
+		t.Errorf("QA level = %v, not raised", qa)
+	}
+	// The fastest donor (IMM) was tapped before ASR.
+	if sys.inst("IMM_1").level >= cmp.MidLevel {
+		t.Error("fastest donor not recycled first")
+	}
+	if sys.Draw() > sys.Budget()+1e-9 {
+		t.Error("budget exceeded")
+	}
+}
+
+func TestFreqBoostToMaxAlreadyAtMax(t *testing.T) {
+	sys := newFakeSystem(100, 8, cmp.MaxLevel, "QA")
+	agg := aggWith(sys, 25*time.Second)
+	ingestStats(agg, "QA_1", 0, 100*time.Millisecond)
+	out := Engine{}.FreqBoostToMax(sys, rankedFor(sys, agg))
+	if out.Kind != BoostNone {
+		t.Errorf("decision = %v, want none", out.Kind)
+	}
+}
+
+func TestInstBoostAlwaysGetsStuckAtFloor(t *testing.T) {
+	m := cmp.DefaultModel()
+	// Budget: two cores at the floor plus a hair — after both instances hit
+	// level 0 no more power can be recycled, mirroring Figure 11(b).
+	sys := newFakeSystem(2*m.Power(0)+0.1, 8, 0, "ASR", "QA")
+	agg := aggWith(sys, 25*time.Second)
+	ingestStats(agg, "QA_1", 200*time.Millisecond, 300*time.Millisecond)
+	ingestStats(agg, "ASR_1", 0, 50*time.Millisecond)
+	sys.inst("QA_1").queueLen = 30
+
+	out := Engine{}.InstBoostAlways(sys, rankedFor(sys, agg))
+	if out.Kind != BoostNone {
+		t.Fatalf("decision = %v, want none (stuck)", out.Kind)
+	}
+	if len(sys.stage("QA").ins) != 1 {
+		t.Error("clone appeared without power")
+	}
+}
+
+func TestInstBoostAlwaysClonesWithRecycling(t *testing.T) {
+	m := cmp.DefaultModel()
+	sys := newFakeSystem(2*m.Power(cmp.MidLevel)+m.Power(0), 8, cmp.MidLevel, "ASR", "QA")
+	agg := aggWith(sys, 25*time.Second)
+	ingestStats(agg, "QA_1", 200*time.Millisecond, 300*time.Millisecond)
+	ingestStats(agg, "ASR_1", 0, 50*time.Millisecond)
+	sys.inst("QA_1").queueLen = 30
+
+	out := Engine{}.InstBoostAlways(sys, rankedFor(sys, agg))
+	if out.Kind != BoostInstance {
+		t.Fatalf("decision = %v, want inst-boost", out.Kind)
+	}
+	if math.Abs(float64(sys.Draw()-sys.Budget())) > 3 {
+		// Sanity: draw close to budget after the clone.
+		t.Logf("draw=%v budget=%v", sys.Draw(), sys.Budget())
+	}
+	if sys.Draw() > sys.Budget()+1e-9 {
+		t.Error("budget exceeded")
+	}
+}
+
+func TestBoostKindStrings(t *testing.T) {
+	for k, want := range map[BoostKind]string{
+		BoostNone: "none", BoostFrequency: "freq-boost", BoostInstance: "inst-boost",
+		BoostKind(9): "unknown-boost",
+	} {
+		if k.String() != want {
+			t.Errorf("BoostKind(%d) = %q", k, k.String())
+		}
+	}
+}

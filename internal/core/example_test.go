@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/core"
+	"powerchief/internal/query"
+	"powerchief/internal/sim"
+	"powerchief/internal/stage"
+)
+
+// Example demonstrates the Command Center end to end on the simulator: the
+// joint design delivers query-carried records to the aggregator, Equation 1
+// ranks instances, and Algorithm 1 decides how to boost the bottleneck.
+func Example() {
+	eng := sim.NewEngine()
+	chip := cmp.NewChip(16, cmp.DefaultModel(), 13.56)
+	sys, err := stage.NewSystem(eng, chip, []stage.Spec{
+		{Name: "ASR", Kind: stage.Pipeline, Profile: cmp.NewRooflineProfile(0.15), Instances: 1, Level: cmp.MidLevel},
+		{Name: "QA", Kind: stage.Pipeline, Profile: cmp.NewRooflineProfile(0.25), Instances: 1, Level: cmp.MidLevel},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	view := core.NewDESView(sys)
+	agg := core.NewAggregator(25*time.Second, eng.Now)
+	sys.OnComplete(agg.Ingest)
+
+	// A burst of QA-heavy queries.
+	for i := 0; i < 12; i++ {
+		at := time.Duration(i) * 300 * time.Millisecond
+		qid := query.ID(i + 1)
+		eng.ScheduleAt(at, func() {
+			sys.Submit(query.New(qid, at, [][]time.Duration{
+				{100 * time.Millisecond},
+				{800 * time.Millisecond},
+			}))
+		})
+	}
+	eng.RunUntil(5 * time.Second)
+
+	ranked := core.Identifier{Metric: core.MetricExpectedDelay}.Rank(view, agg)
+	fmt.Println("bottleneck:", ranked[0].Instance.Name())
+	out := core.Engine{}.SelectBoosting(view, ranked)
+	fmt.Println("decision:", out.Kind, "on", out.Target)
+	fmt.Println("budget respected:", chip.CheckInvariant() == nil)
+	// Output:
+	// bottleneck: QA_1
+	// decision: inst-boost on QA_1
+	// budget respected: true
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// Metric selects the latency metric used to rank instances. Table 1 of the
+// paper lists the candidate historical metrics; Equation 1 is PowerChief's
+// combined metric, which augments history with the realtime queue length.
+type Metric int
+
+const (
+	// MetricExpectedDelay is Equation 1: L·q̄ + s̄ — the delay an incoming
+	// query should expect, combining historical statistics with the realtime
+	// queue length. PowerChief's default.
+	MetricExpectedDelay Metric = iota
+	// MetricAvgQueuing ranks by mean queuing time only (Table 1 row 1).
+	MetricAvgQueuing
+	// MetricAvgServing ranks by mean serving time only (Table 1 row 2).
+	MetricAvgServing
+	// MetricAvgProcessing ranks by mean queuing+serving (Table 1 row 3).
+	MetricAvgProcessing
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricExpectedDelay:
+		return "expected-delay"
+	case MetricAvgQueuing:
+		return "avg-queuing"
+	case MetricAvgServing:
+		return "avg-serving"
+	case MetricAvgProcessing:
+		return "avg-processing"
+	default:
+		return "unknown-metric"
+	}
+}
+
+// Ranked is one instance annotated with its latency metric and the
+// statistics backing it.
+type Ranked struct {
+	Instance Instance
+	Stage    StageControl
+	Metric   time.Duration
+	Queuing  time.Duration // windowed mean queuing time q̄
+	Serving  time.Duration // windowed mean serving time s̄
+	QueueLen int           // realtime queue length L
+}
+
+// Identifier is the bottleneck identification component (§4.2): it evaluates
+// the latency metric for every live instance and produces a ranking, slowest
+// (bottleneck) first.
+type Identifier struct {
+	Metric Metric
+}
+
+// Rank evaluates the metric over all instances. The result is sorted
+// descending by metric; ties break by stage order then instance name so the
+// ranking is deterministic. Draining instances are excluded — they are
+// already leaving.
+func (id Identifier) Rank(sys System, agg *Aggregator) []Ranked {
+	var out []Ranked
+	for _, st := range sys.Stages() {
+		for _, in := range st.Instances() {
+			q, s, _ := agg.InstStats(in.Name())
+			out = append(out, Ranked{
+				Instance: in,
+				Stage:    st,
+				Metric:   id.eval(in, q, s),
+				Queuing:  q,
+				Serving:  s,
+				QueueLen: in.QueueLen(),
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Metric != out[j].Metric {
+			return out[i].Metric > out[j].Metric
+		}
+		return out[i].Instance.Name() < out[j].Instance.Name()
+	})
+	return out
+}
+
+// eval computes the chosen latency metric for one instance.
+func (id Identifier) eval(in Instance, q, s time.Duration) time.Duration {
+	switch id.Metric {
+	case MetricExpectedDelay:
+		return time.Duration(in.QueueLen())*q + s
+	case MetricAvgQueuing:
+		return q
+	case MetricAvgServing:
+		return s
+	case MetricAvgProcessing:
+		return q + s
+	default:
+		panic("core: unknown latency metric")
+	}
+}
+
+// Bottleneck returns the instance with the largest metric, or a zero Ranked
+// with ok=false when the system has no instances.
+func (id Identifier) Bottleneck(sys System, agg *Aggregator) (Ranked, bool) {
+	ranked := id.Rank(sys, agg)
+	if len(ranked) == 0 {
+		return Ranked{}, false
+	}
+	return ranked[0], true
+}
+
+// Spread returns the metric difference between the bottleneck and the
+// fastest instance — compared against the balance threshold to suppress
+// oscillating reallocation (§8.1).
+func Spread(ranked []Ranked) time.Duration {
+	if len(ranked) < 2 {
+		return 0
+	}
+	return ranked[0].Metric - ranked[len(ranked)-1].Metric
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config carries the runtime parameters of the control loop (Table 2 /
+// Table 3 of the paper).
+type Config struct {
+	// Metric selects the bottleneck-identification latency metric.
+	Metric Metric
+	// BalanceThreshold suppresses reallocation when the metric spread
+	// between the slowest and fastest instance falls below it, avoiding
+	// oscillation (§8.1; 1 s in Table 2).
+	BalanceThreshold time.Duration
+	// WithdrawInterval is how often underutilized instances are considered
+	// for withdraw (150 s in Table 2). Zero disables withdraw.
+	WithdrawInterval time.Duration
+	// WithdrawThreshold is the utilization below which an instance counts as
+	// underutilized (0.2 in §6.2).
+	WithdrawThreshold float64
+	// DisableSplitClone restores the literal Algorithm 1 (no split-clone
+	// refinement); see DESIGN.md §5b. For ablation studies.
+	DisableSplitClone bool
+}
+
+// DefaultConfig returns the Table 2 configuration.
+func DefaultConfig() Config {
+	return Config{
+		Metric:            MetricExpectedDelay,
+		BalanceThreshold:  time.Second,
+		WithdrawInterval:  150 * time.Second,
+		WithdrawThreshold: 0.2,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BalanceThreshold < 0 {
+		return fmt.Errorf("core: negative balance threshold")
+	}
+	if c.WithdrawInterval < 0 {
+		return fmt.Errorf("core: negative withdraw interval")
+	}
+	if c.WithdrawThreshold < 0 || c.WithdrawThreshold > 1 {
+		return fmt.Errorf("core: withdraw threshold outside [0,1]")
+	}
+	return nil
+}
+
+// Policy is one latency-mitigation strategy invoked at every adjust
+// interval. Implementations mutate the system through the Command Center
+// interfaces and report what they did.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Adjust runs one control interval.
+	Adjust(sys System, agg *Aggregator) BoostOutcome
+}
+
+// Static is the stage-agnostic baseline: the power budget is divided equally
+// across stages at setup and never adjusted (§8.1).
+type Static struct{}
+
+// Name implements Policy.
+func (Static) Name() string { return "baseline" }
+
+// Adjust implements Policy.
+func (Static) Adjust(System, *Aggregator) BoostOutcome { return BoostOutcome{Kind: BoostNone} }
+
+// FreqBoost is the pure frequency-boosting policy: every interval it raises
+// the bottleneck's frequency as far as recycled power allows.
+type FreqBoost struct {
+	Cfg    Config
+	engine Engine
+}
+
+// NewFreqBoost builds the policy with the given configuration.
+func NewFreqBoost(cfg Config) *FreqBoost { return &FreqBoost{Cfg: cfg} }
+
+// Name implements Policy.
+func (*FreqBoost) Name() string { return "freq-boost" }
+
+// Adjust implements Policy.
+func (f *FreqBoost) Adjust(sys System, agg *Aggregator) BoostOutcome {
+	ranked := Identifier{Metric: f.Cfg.Metric}.Rank(sys, agg)
+	if len(ranked) == 0 || Spread(ranked) < f.Cfg.BalanceThreshold {
+		return BoostOutcome{Kind: BoostNone}
+	}
+	return f.engine.FreqBoostToMax(sys, ranked)
+}
+
+// InstBoost is the pure instance-boosting policy: every interval it tries to
+// clone the bottleneck, recycling power by slowing other instances down.
+type InstBoost struct {
+	Cfg    Config
+	engine Engine
+}
+
+// NewInstBoost builds the policy with the given configuration.
+func NewInstBoost(cfg Config) *InstBoost { return &InstBoost{Cfg: cfg} }
+
+// Name implements Policy.
+func (*InstBoost) Name() string { return "inst-boost" }
+
+// Adjust implements Policy.
+func (i *InstBoost) Adjust(sys System, agg *Aggregator) BoostOutcome {
+	ranked := Identifier{Metric: i.Cfg.Metric}.Rank(sys, agg)
+	if len(ranked) == 0 || Spread(ranked) < i.Cfg.BalanceThreshold {
+		return BoostOutcome{Kind: BoostNone}
+	}
+	return i.engine.InstBoostAlways(sys, ranked)
+}
+
+// PowerChief is the full adaptive policy: accurate bottleneck
+// identification, the adaptive boosting decision engine, dynamic power
+// recycling and instance withdraw, all under the power constraint.
+type PowerChief struct {
+	Cfg          Config
+	engine       Engine
+	lastWithdraw time.Duration
+	withdrawInit bool
+
+	// Withdrawn counts instances withdrawn over the run.
+	Withdrawn int
+}
+
+// NewPowerChief builds the policy with the given configuration.
+func NewPowerChief(cfg Config) *PowerChief {
+	return &PowerChief{Cfg: cfg, engine: Engine{DisableSplitClone: cfg.DisableSplitClone}}
+}
+
+// Name implements Policy.
+func (*PowerChief) Name() string { return "powerchief" }
+
+// Adjust implements Policy.
+func (p *PowerChief) Adjust(sys System, agg *Aggregator) BoostOutcome {
+	now := sys.Now()
+	id := Identifier{Metric: p.Cfg.Metric}
+	ranked := id.Rank(sys, agg)
+	if len(ranked) == 0 {
+		return BoostOutcome{Kind: BoostNone}
+	}
+
+	if !p.withdrawInit {
+		// Anchor the first withdraw epoch at the first adjust.
+		p.withdrawInit = true
+		p.lastWithdraw = now
+	} else if p.Cfg.WithdrawInterval > 0 && now-p.lastWithdraw >= p.Cfg.WithdrawInterval {
+		plans := PlanWithdraws(sys, ranked, p.Cfg.WithdrawThreshold)
+		if n, err := ExecuteWithdraws(plans, agg); err == nil {
+			p.Withdrawn += n
+		}
+		for _, in := range Instances(sys) {
+			in.ResetUtilizationEpoch()
+		}
+		p.lastWithdraw = now
+		if len(plans) > 0 {
+			ranked = id.Rank(sys, agg)
+		}
+	}
+
+	if Spread(ranked) < p.Cfg.BalanceThreshold {
+		return BoostOutcome{Kind: BoostNone}
+	}
+	return p.engine.SelectBoosting(sys, ranked)
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"powerchief/internal/cmp"
+)
+
+func TestRecycleFromInstStepsJustEnough(t *testing.T) {
+	sys := newFakeSystem(100, 4, cmp.MidLevel, "A")
+	m := sys.model
+	donor := sys.inst("A_1")
+	oneStep := m.Power(cmp.MidLevel) - m.Power(cmp.MidLevel-1)
+
+	got := Recycler{}.RecycleFromInst(m, donor, oneStep/2)
+	if got < oneStep/2 {
+		t.Errorf("recycled %v, need %v", got, oneStep/2)
+	}
+	// A half-step need costs exactly one level.
+	if donor.level != cmp.MidLevel-1 {
+		t.Errorf("donor level = %v, want one step down", donor.level)
+	}
+}
+
+func TestRecycleFromInstCapsAtFloor(t *testing.T) {
+	sys := newFakeSystem(100, 4, cmp.MidLevel, "A")
+	m := sys.model
+	donor := sys.inst("A_1")
+	max := m.Power(cmp.MidLevel) - m.Power(0)
+
+	got := Recycler{}.RecycleFromInst(m, donor, 1000)
+	if !cmp.ApproxEqual(got, max) {
+		t.Errorf("recycled %v, want all %v", got, max)
+	}
+	if donor.level != 0 {
+		t.Errorf("donor level = %v, want floor", donor.level)
+	}
+	// Already at the floor: nothing more.
+	if got := (Recycler{}).RecycleFromInst(m, donor, 1); got != 0 {
+		t.Errorf("floor donor recycled %v", got)
+	}
+}
+
+func TestRecycleFromInstRespectsCustomFloor(t *testing.T) {
+	sys := newFakeSystem(100, 4, cmp.MidLevel, "A")
+	donor := sys.inst("A_1")
+	Recycler{Floor: 4}.RecycleFromInst(sys.model, donor, 1000)
+	if donor.level != 4 {
+		t.Errorf("donor level = %v, want custom floor 4", donor.level)
+	}
+}
+
+func TestRecycleFromInstZeroNeed(t *testing.T) {
+	sys := newFakeSystem(100, 4, cmp.MidLevel, "A")
+	if got := (Recycler{}).RecycleFromInst(sys.model, sys.inst("A_1"), 0); got != 0 {
+		t.Errorf("zero need recycled %v", got)
+	}
+	if sys.inst("A_1").level != cmp.MidLevel {
+		t.Error("zero need changed the donor")
+	}
+}
+
+func TestRecycleWalksDonorsInOrder(t *testing.T) {
+	sys := newFakeSystem(100, 4, cmp.MidLevel, "A", "B", "C")
+	m := sys.model
+	// Need slightly more than one donor can give: A drains fully, B steps.
+	fullDonor := m.Power(cmp.MidLevel) - m.Power(0)
+	donors := []Instance{sys.inst("A_1"), sys.inst("B_1"), sys.inst("C_1")}
+	got := Recycler{}.Recycle(m, donors, fullDonor+0.1)
+	if got < fullDonor+0.1 {
+		t.Errorf("recycled %v, need %v", got, fullDonor+0.1)
+	}
+	if sys.inst("A_1").level != 0 {
+		t.Error("first donor not drained")
+	}
+	if sys.inst("B_1").level >= cmp.MidLevel {
+		t.Error("second donor untouched")
+	}
+	if sys.inst("C_1").level != cmp.MidLevel {
+		t.Error("third donor touched unnecessarily")
+	}
+}
+
+func TestRecycleShortfallReported(t *testing.T) {
+	sys := newFakeSystem(100, 4, 0, "A") // donor already at floor
+	got := Recycler{}.Recycle(sys.model, []Instance{sys.inst("A_1")}, 5)
+	if got != 0 {
+		t.Errorf("recycled %v from floor donors", got)
+	}
+}
+
+func TestDonorsFromRankingExcludesBottleneckAndOrders(t *testing.T) {
+	sys := newFakeSystem(100, 4, cmp.MidLevel, "A", "B", "C")
+	agg := aggWith(sys, 25*time.Second)
+	ingestStats(agg, "A_1", 0, 300*time.Millisecond)
+	ingestStats(agg, "B_1", 0, 200*time.Millisecond)
+	ingestStats(agg, "C_1", 0, 100*time.Millisecond)
+	ranked := Identifier{Metric: MetricExpectedDelay}.Rank(sys, agg)
+	if ranked[0].Instance.Name() != "A_1" {
+		t.Fatalf("bottleneck = %s", ranked[0].Instance.Name())
+	}
+	donors := DonorsFromRanking(ranked, ranked[0].Instance)
+	if len(donors) != 2 {
+		t.Fatalf("donors = %d", len(donors))
+	}
+	if donors[0].Name() != "C_1" || donors[1].Name() != "B_1" {
+		t.Errorf("donor order = %s,%s; want fastest first", donors[0].Name(), donors[1].Name())
+	}
+}
+
+func TestPlanWithdrawsSelectsLeastUtilized(t *testing.T) {
+	sys := newFakeSystem(100, 4, cmp.MidLevel, "A")
+	st := sys.stage("A")
+	// Three instances with varying utilization.
+	for i, u := range []float64{0.5, 0.15, 0.05} {
+		if i == 0 {
+			st.ins[0].util = u
+			continue
+		}
+		in := &fakeInstance{name: st.name + "_" + string(rune('1'+i)), stage: st.name, level: cmp.MidLevel, util: u, sys: sys}
+		st.ins = append(st.ins, in)
+	}
+	agg := aggWith(sys, 25*time.Second)
+	ranked := Identifier{}.Rank(sys, agg)
+	plans := PlanWithdraws(sys, ranked, 0.2)
+	if len(plans) != 1 {
+		t.Fatalf("plans = %d, want 1 (at most one per stage)", len(plans))
+	}
+	if plans[0].Victim.Utilization() != 0.05 {
+		t.Errorf("victim utilization = %v, want the least-utilized", plans[0].Victim.Utilization())
+	}
+	n, err := ExecuteWithdraws(plans, agg)
+	if err != nil || n != 1 {
+		t.Fatalf("ExecuteWithdraws = %d, %v", n, err)
+	}
+	if len(st.ins) != 2 {
+		t.Errorf("stage has %d instances after withdraw", len(st.ins))
+	}
+}
+
+func TestPlanWithdrawsNeverLastInstance(t *testing.T) {
+	sys := newFakeSystem(100, 4, cmp.MidLevel, "A")
+	sys.inst("A_1").util = 0.0 // fully idle, but the only instance
+	agg := aggWith(sys, 25*time.Second)
+	plans := PlanWithdraws(sys, Identifier{}.Rank(sys, agg), 0.2)
+	if len(plans) != 0 {
+		t.Fatal("planned withdraw of the last instance")
+	}
+}
+
+func TestPlanWithdrawsSkipsNonScalableStages(t *testing.T) {
+	sys := newFakeSystem(100, 4, cmp.MidLevel, "leaf")
+	st := sys.stage("leaf")
+	st.scalable = false
+	st.ins = append(st.ins, &fakeInstance{name: "leaf_2", stage: "leaf", level: cmp.MidLevel, sys: sys})
+	agg := aggWith(sys, 25*time.Second)
+	plans := PlanWithdraws(sys, Identifier{}.Rank(sys, agg), 0.2)
+	if len(plans) != 0 {
+		t.Fatal("planned withdraw from a fan-out stage")
+	}
+}
+
+func TestPlanWithdrawsSkipsBusyInstances(t *testing.T) {
+	sys := newFakeSystem(100, 4, cmp.MidLevel, "A")
+	st := sys.stage("A")
+	st.ins[0].util = 0.9
+	st.ins = append(st.ins, &fakeInstance{name: "A_2", stage: "A", level: cmp.MidLevel, util: 0.5, sys: sys})
+	agg := aggWith(sys, 25*time.Second)
+	plans := PlanWithdraws(sys, Identifier{}.Rank(sys, agg), 0.2)
+	if len(plans) != 0 {
+		t.Fatal("planned withdraw of busy instances")
+	}
+}
+
+func TestPlanWithdrawsTargetIsFastest(t *testing.T) {
+	sys := newFakeSystem(100, 4, cmp.MidLevel, "A")
+	st := sys.stage("A")
+	st.ins[0].util = 0.9
+	st.ins = append(st.ins,
+		&fakeInstance{name: "A_2", stage: "A", level: cmp.MidLevel, util: 0.05, sys: sys},
+		&fakeInstance{name: "A_3", stage: "A", level: cmp.MidLevel, util: 0.6, sys: sys},
+	)
+	agg := aggWith(sys, 25*time.Second)
+	ingestStats(agg, "A_1", 0, 100*time.Millisecond) // fastest by metric
+	ingestStats(agg, "A_2", 0, 300*time.Millisecond)
+	ingestStats(agg, "A_3", 0, 500*time.Millisecond)
+	ranked := Identifier{Metric: MetricExpectedDelay}.Rank(sys, agg)
+	plans := PlanWithdraws(sys, ranked, 0.2)
+	if len(plans) != 1 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	if plans[0].Victim.Name() != "A_2" {
+		t.Errorf("victim = %s, want A_2", plans[0].Victim.Name())
+	}
+	if plans[0].Target == nil || plans[0].Target.Name() != "A_1" {
+		t.Errorf("target = %v, want the fastest instance A_1", plans[0].Target)
+	}
+}

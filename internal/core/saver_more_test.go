@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"powerchief/internal/cmp"
+)
+
+func TestPegasusHoldsAtMaxAfterViolation(t *testing.T) {
+	sys := newFakeSystem(200, 8, cmp.MidLevel, "A")
+	agg := aggWith(sys, 25*time.Second)
+	p := NewPegasus(time.Second)
+	p.HoldIntervals = 3
+
+	// Violation: race to max and arm the hold.
+	ingestQoS(agg, map[string]instSample{"A_1": {0, 900 * time.Millisecond}}, 1500*time.Millisecond)
+	p.Adjust(sys, agg)
+	if sys.inst("A_1").level != cmp.MaxLevel {
+		t.Fatal("violation did not race to max")
+	}
+	// Now latency is comfortable — but the hold must keep max power for
+	// HoldIntervals adjusts.
+	ingestQoS(agg, map[string]instSample{"A_1": {0, 100 * time.Millisecond}}, 100*time.Millisecond)
+	for i := 0; i < 3; i++ {
+		p.Adjust(sys, agg)
+		if got := sys.inst("A_1").level; got != cmp.MaxLevel {
+			t.Fatalf("hold interval %d: level = %v, want max", i, got)
+		}
+	}
+	// Hold expired: savings resume.
+	p.Adjust(sys, agg)
+	if got := sys.inst("A_1").level; got != cmp.MaxLevel-1 {
+		t.Errorf("after hold: level = %v, want one step down", got)
+	}
+}
+
+func TestSaverCooldownBlocksWithdrawsAfterRecovery(t *testing.T) {
+	sys := newFakeSystem(400, 8, cmp.MaxLevel, "A")
+	st := sys.stage("A")
+	st.ins = append(st.ins, &fakeInstance{name: "A_2", stage: "A", level: cmp.MaxLevel, util: 0.1, sys: sys})
+	sys.draw += sys.model.Power(cmp.MaxLevel)
+	st.ins[0].util = 0.1
+	agg := aggWith(sys, 25*time.Second)
+	s := NewPowerChiefSaver(time.Second, DefaultConfig())
+
+	// Violation arms the cooldown.
+	ingestQoS(agg, map[string]instSample{
+		"A_1": {0, 500 * time.Millisecond},
+		"A_2": {0, 400 * time.Millisecond},
+	}, 1200*time.Millisecond)
+	s.Adjust(sys, agg)
+
+	// Deep slack immediately after: withdraw must be blocked by cooldown
+	// even though survivors would be safe.
+	ingestQoS(agg, map[string]instSample{
+		"A_1": {0, 100 * time.Millisecond},
+		"A_2": {0, 100 * time.Millisecond},
+	}, 100*time.Millisecond)
+	s.Adjust(sys, agg)
+	if s.Withdrawn != 0 {
+		t.Fatal("withdraw fired during cooldown")
+	}
+	// After the cooldown drains, withdraw resumes.
+	for i := 0; i < 6; i++ {
+		s.Adjust(sys, agg)
+	}
+	if s.Withdrawn == 0 {
+		t.Error("withdraw never resumed after cooldown")
+	}
+}
+
+func TestSaverRelaunchesAfterOverWithdraw(t *testing.T) {
+	sys := newFakeSystem(400, 8, cmp.MaxLevel, "A")
+	st := sys.stage("A")
+	agg := aggWith(sys, 25*time.Second)
+	s := NewPowerChiefSaver(time.Second, DefaultConfig())
+	// The single instance is at max and the stage is violating: the saver
+	// must relaunch capacity (clone) because frequency has nothing left.
+	sys.inst("A_1").queueLen = 5
+	ingestQoS(agg, map[string]instSample{"A_1": {300 * time.Millisecond, 500 * time.Millisecond}}, 1500*time.Millisecond)
+	out := s.Adjust(sys, agg)
+	if out.Kind != BoostInstance {
+		t.Fatalf("kind = %v, want relaunch (inst-boost)", out.Kind)
+	}
+	if s.Relaunched != 1 || len(st.ins) != 2 {
+		t.Errorf("Relaunched=%d instances=%d", s.Relaunched, len(st.ins))
+	}
+}
+
+func TestSaverDeboostGuardSkipsWouldBeBottleneck(t *testing.T) {
+	sys := newFakeSystem(400, 8, cmp.MaxLevel, "near", "far")
+	agg := aggWith(sys, 25*time.Second)
+	// "near" is almost as slow as the bottleneck "far": deboosting it one
+	// step would overtake the bottleneck, so the guard must skip it.
+	sys.inst("near_1").queueLen = 2
+	ingestQoS(agg, map[string]instSample{
+		"near_1": {200 * time.Millisecond, 380 * time.Millisecond},
+		"far_1":  {0, 800 * time.Millisecond},
+	}, 300*time.Millisecond)
+	s := NewPowerChiefSaver(2*time.Second, DefaultConfig())
+	s.Adjust(sys, agg)
+	if got := sys.inst("near_1").level; got != cmp.MaxLevel {
+		t.Errorf("near-bottleneck instance deboosted to %v despite the projection guard", got)
+	}
+}
+
+func TestSelectBoostingFanOutBottleneckUsesFrequencyOnly(t *testing.T) {
+	sys := newFakeSystem(100, 8, cmp.MidLevel, "agg")
+	// Add a non-scalable fan-out stage whose instance is the bottleneck.
+	leaf := &fakeStage{name: "leaf", scalable: false, profile: cmp.NewRooflineProfile(0.4), sys: sys}
+	leafInst := &fakeInstance{name: "leaf_1", stage: "leaf", level: cmp.MidLevel, queueLen: 30, sys: sys}
+	sys.draw += sys.model.Power(cmp.MidLevel)
+	leaf.ins = append(leaf.ins, leafInst)
+	sys.stages = append(sys.stages, leaf)
+
+	aggr := aggWith(sys, 25*time.Second)
+	ingestStats(aggr, "leaf_1", 400*time.Millisecond, 400*time.Millisecond)
+	ingestStats(aggr, "agg_1", 0, 20*time.Millisecond)
+
+	out := Engine{}.SelectBoosting(sys, rankedFor(sys, aggr))
+	if out.Kind != BoostFrequency {
+		t.Fatalf("decision = %v, want freq-boost (fan-out cannot clone)", out.Kind)
+	}
+	if leafInst.level <= cmp.MidLevel {
+		t.Error("fan-out bottleneck not raised")
+	}
+	if len(leaf.ins) != 1 {
+		t.Error("a clone appeared in a fan-out stage")
+	}
+}

@@ -1,0 +1,94 @@
+// Package core implements PowerChief's Command Center (Figure 5): the
+// bottleneck identifier (§4), the boosting decision engine (§5, Algorithm 1)
+// and the power reallocator (§6, Algorithm 2), together with the boosting
+// and power-conservation policies the paper evaluates against each other —
+// stage-agnostic static allocation, pure frequency boosting, pure instance
+// boosting, adaptive PowerChief, a Pegasus-style QoS power saver and the
+// stage-aware PowerChief power saver.
+//
+// The decision code acts through the narrow Instance/StageControl/System
+// interfaces below, so the identical policies drive the discrete-event
+// engine, the live goroutine engine and the distributed RPC prototype.
+package core
+
+import (
+	"time"
+
+	"powerchief/internal/cmp"
+)
+
+// Instance is the Command Center's handle on one service instance.
+type Instance interface {
+	// Name is the instance signature carried in query records, e.g. "QA_2".
+	Name() string
+	// StageName names the owning stage, e.g. "QA".
+	StageName() string
+	// QueueLen is the realtime load: queued queries plus the one in service
+	// (the L of Equation 1).
+	QueueLen() int
+	// Level is the instance core's current frequency level.
+	Level() cmp.Level
+	// SetLevel performs a DVFS transition, subject to the chip budget.
+	SetLevel(cmp.Level) error
+	// Utilization is the fraction of the current withdraw epoch spent
+	// serving queries.
+	Utilization() float64
+	// ResetUtilizationEpoch starts a new withdraw accounting epoch.
+	ResetUtilizationEpoch()
+}
+
+// StageControl is the Command Center's handle on one stage.
+type StageControl interface {
+	// Name returns the stage name.
+	Name() string
+	// CanScale reports whether instances may be launched into or withdrawn
+	// from the stage (pipeline stages — fan-out leaves hold shards).
+	CanScale() bool
+	// Instances returns the live instances accepting queries.
+	Instances() []Instance
+	// Clone launches a new instance at the bottleneck's frequency and steals
+	// half of its queued work (instance boosting).
+	Clone(bottleneck Instance) (Instance, error)
+	// Withdraw drains victim, redirecting its load to target (or a
+	// dispatcher-chosen instance when target is nil).
+	Withdraw(victim, target Instance) error
+	// Profile returns the stage service's offline frequency profile.
+	Profile() cmp.SpeedupProfile
+}
+
+// System is the Command Center's view of the whole deployment.
+type System interface {
+	// Now returns the current (virtual or wall) time.
+	Now() time.Duration
+	// Stages returns the pipeline stages in order.
+	Stages() []StageControl
+	// PowerModel returns the per-core power model.
+	PowerModel() cmp.PowerModel
+	// Budget returns the application's power budget.
+	Budget() cmp.Watts
+	// Draw returns the power currently drawn.
+	Draw() cmp.Watts
+	// Headroom returns Budget minus Draw.
+	Headroom() cmp.Watts
+	// FreeCores returns the number of unallocated physical cores.
+	FreeCores() int
+}
+
+// Instances flattens all live instances of the system in stage order.
+func Instances(sys System) []Instance {
+	var out []Instance
+	for _, st := range sys.Stages() {
+		out = append(out, st.Instances()...)
+	}
+	return out
+}
+
+// StageOf returns the stage owning the instance, or nil.
+func StageOf(sys System, in Instance) StageControl {
+	for _, st := range sys.Stages() {
+		if st.Name() == in.StageName() {
+			return st
+		}
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/core"
+	"powerchief/internal/query"
+	"powerchief/internal/rpc"
+)
+
+// Center is the distributed Command Center: it owns the application's power
+// budget, dispatches queries through the remote stage services in order,
+// folds the returned query-carried records into the aggregator, and drives a
+// control policy against a remote view of the deployment.
+type Center struct {
+	budget cmp.Watts
+	model  cmp.PowerModel
+	agg    *core.Aggregator
+	start  time.Time
+
+	mu      sync.Mutex
+	stages  []*remoteStage
+	nextQID uint64
+
+	submitted uint64
+	completed uint64
+	latency   []time.Duration
+}
+
+// NewCenter connects to the stage services at addrs (pipeline order) and
+// interrogates each for its stage description.
+func NewCenter(budget cmp.Watts, window time.Duration, addrs []string) (*Center, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("dist: center needs a positive power budget")
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dist: center needs at least one stage address")
+	}
+	c := &Center{budget: budget, model: cmp.DefaultModel(), start: time.Now()}
+	c.agg = core.NewAggregator(window, c.Now)
+	for _, addr := range addrs {
+		client, err := rpc.Dial(addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("dist: dialing stage %s: %w", addr, err)
+		}
+		var info InfoReply
+		if err := client.Call(MethodInfo, nil, &info); err != nil {
+			client.Close()
+			c.Close()
+			return nil, fmt.Errorf("dist: stage %s info: %w", addr, err)
+		}
+		st := &remoteStage{
+			center:   c,
+			client:   client,
+			name:     info.Name,
+			canScale: info.CanScale,
+			profile:  cmp.NewRooflineProfile(info.MemBound),
+		}
+		if err := st.refresh(); err != nil {
+			client.Close()
+			c.Close()
+			return nil, fmt.Errorf("dist: stage %s stats: %w", addr, err)
+		}
+		c.stages = append(c.stages, st)
+	}
+	return c, nil
+}
+
+// Now returns time since the center started — the reference clock for
+// windowed statistics. Per the joint design, latency statistics themselves
+// are measured locally at each stage, so no cross-machine clock agreement is
+// needed.
+func (c *Center) Now() time.Duration { return time.Since(c.start) }
+
+// Aggregator exposes the center's statistics for inspection.
+func (c *Center) Aggregator() *core.Aggregator { return c.agg }
+
+// Submit dispatches one query through all stages, blocking until the
+// response returns. Work must hold one row per stage.
+func (c *Center) Submit(work [][]time.Duration) (time.Duration, error) {
+	c.mu.Lock()
+	if len(work) != len(c.stages) {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("dist: work for %d stages, pipeline has %d", len(work), len(c.stages))
+	}
+	c.nextQID++
+	qid := c.nextQID
+	stages := make([]*remoteStage, len(c.stages))
+	copy(stages, c.stages)
+	c.submitted++
+	c.mu.Unlock()
+
+	arrival := c.Now()
+	q := query.New(query.ID(qid), arrival, work)
+	for i, st := range stages {
+		var reply ProcessReply
+		if err := st.client.Call(MethodProcess, ProcessArgs{QueryID: qid, Work: work[i]}, &reply); err != nil {
+			return 0, fmt.Errorf("dist: stage %s: %w", st.name, err)
+		}
+		for _, rec := range reply.Records {
+			q.Append(rec.toRecord(q.ID))
+		}
+	}
+	q.Done = c.Now()
+	c.agg.Ingest(q)
+	c.mu.Lock()
+	c.completed++
+	c.latency = append(c.latency, q.Latency())
+	c.mu.Unlock()
+	return q.Latency(), nil
+}
+
+// Counts returns submitted and completed query counts.
+func (c *Center) Counts() (submitted, completed uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.submitted, c.completed
+}
+
+// Latencies returns a copy of the observed end-to-end latencies.
+func (c *Center) Latencies() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.latency))
+	copy(out, c.latency)
+	return out
+}
+
+// Adjust refreshes the remote snapshots and runs one control interval of the
+// policy against the deployment.
+func (c *Center) Adjust(policy core.Policy) (core.BoostOutcome, error) {
+	c.mu.Lock()
+	stages := make([]*remoteStage, len(c.stages))
+	copy(stages, c.stages)
+	c.mu.Unlock()
+	for _, st := range stages {
+		if err := st.refresh(); err != nil {
+			return core.BoostOutcome{}, fmt.Errorf("dist: refreshing %s: %w", st.name, err)
+		}
+	}
+	return policy.Adjust(c, c.agg), nil
+}
+
+// Close tears down the stage connections.
+func (c *Center) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, st := range c.stages {
+		st.client.Close()
+	}
+	c.stages = nil
+}
+
+// --- core.System over RPC ---
+
+// PowerModel implements core.System.
+func (c *Center) PowerModel() cmp.PowerModel { return c.model }
+
+// Budget implements core.System.
+func (c *Center) Budget() cmp.Watts { return c.budget }
+
+// Draw implements core.System: computed from the last snapshots.
+func (c *Center) Draw() cmp.Watts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum cmp.Watts
+	for _, st := range c.stages {
+		for _, in := range st.snapshot {
+			sum += c.model.Power(in.level)
+		}
+	}
+	return sum
+}
+
+// Headroom implements core.System.
+func (c *Center) Headroom() cmp.Watts { return c.budget - c.Draw() }
+
+// FreeCores implements core.System: the center assumes each stage service
+// machine has capacity for more instances; the practical bound is the power
+// budget, so report the budget headroom in whole minimum-power cores.
+func (c *Center) FreeCores() int {
+	h := c.Headroom()
+	if h <= 0 {
+		return 0
+	}
+	n := int(h / c.model.MinPower())
+	if n < 1 {
+		// Recycling can still fund a core even with zero headroom now.
+		n = 1
+	}
+	return n
+}
+
+// Stages implements core.System.
+func (c *Center) Stages() []core.StageControl {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]core.StageControl, len(c.stages))
+	for i, st := range c.stages {
+		out[i] = st
+	}
+	return out
+}
+
+// remoteStage adapts one stage service to core.StageControl.
+type remoteStage struct {
+	center   *Center
+	client   *rpc.Client
+	name     string
+	canScale bool
+	profile  cmp.SpeedupProfile
+
+	mu       sync.Mutex
+	snapshot []*remoteInstance
+}
+
+// refresh pulls a fresh instance snapshot from the service.
+func (st *remoteStage) refresh() error {
+	var reply StatsReply
+	if err := st.client.Call(MethodStats, nil, &reply); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.snapshot = st.snapshot[:0]
+	for _, is := range reply.Instances {
+		st.snapshot = append(st.snapshot, &remoteInstance{stage: st, stats: is, level: is.Level})
+	}
+	return nil
+}
+
+// Name implements core.StageControl.
+func (st *remoteStage) Name() string { return st.name }
+
+// CanScale implements core.StageControl.
+func (st *remoteStage) CanScale() bool { return st.canScale }
+
+// Profile implements core.StageControl.
+func (st *remoteStage) Profile() cmp.SpeedupProfile { return st.profile }
+
+// Instances implements core.StageControl.
+func (st *remoteStage) Instances() []core.Instance {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]core.Instance, len(st.snapshot))
+	for i, in := range st.snapshot {
+		out[i] = in
+	}
+	return out
+}
+
+// Clone implements core.StageControl over RPC. The center checks the power
+// budget before authorizing the launch.
+func (st *remoteStage) Clone(bottleneck core.Instance) (core.Instance, error) {
+	src, ok := bottleneck.(*remoteInstance)
+	if !ok {
+		return nil, fmt.Errorf("dist: clone target %s is not a remote instance", bottleneck.Name())
+	}
+	cost := st.center.model.Power(src.Level())
+	if st.center.Headroom()+1e-9 < cost {
+		return nil, cmp.ErrBudgetExceeded
+	}
+	var reply CloneReply
+	if err := st.client.Call(MethodClone, CloneArgs{Instance: src.Name()}, &reply); err != nil {
+		return nil, err
+	}
+	clone := &remoteInstance{
+		stage: st,
+		stats: InstanceStats{Name: reply.Name, Level: reply.Level, QueueLen: src.stats.QueueLen / 2},
+		level: reply.Level,
+	}
+	st.mu.Lock()
+	st.snapshot = append(st.snapshot, clone)
+	st.mu.Unlock()
+	return clone, nil
+}
+
+// Withdraw implements core.StageControl over RPC.
+func (st *remoteStage) Withdraw(victim, target core.Instance) error {
+	v, ok := victim.(*remoteInstance)
+	if !ok {
+		return fmt.Errorf("dist: withdraw victim %s is not a remote instance", victim.Name())
+	}
+	args := WithdrawArgs{Instance: v.Name()}
+	if target != nil {
+		args.Target = target.Name()
+	}
+	if err := st.client.Call(MethodWithdraw, args, nil); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	for i, in := range st.snapshot {
+		if in == v {
+			st.snapshot = append(st.snapshot[:i], st.snapshot[i+1:]...)
+			break
+		}
+	}
+	st.mu.Unlock()
+	return nil
+}
+
+// remoteInstance adapts one remote service instance. Realtime fields come
+// from the last snapshot; actuation goes over RPC with the center enforcing
+// the budget.
+type remoteInstance struct {
+	stage *remoteStage
+	stats InstanceStats
+
+	mu    sync.Mutex
+	level cmp.Level
+}
+
+// Name implements core.Instance.
+func (in *remoteInstance) Name() string { return in.stats.Name }
+
+// StageName implements core.Instance.
+func (in *remoteInstance) StageName() string { return in.stage.name }
+
+// QueueLen implements core.Instance (from the snapshot).
+func (in *remoteInstance) QueueLen() int { return in.stats.QueueLen }
+
+// Utilization implements core.Instance (from the snapshot).
+func (in *remoteInstance) Utilization() float64 { return in.stats.Utilization }
+
+// ResetUtilizationEpoch implements core.Instance. Remote utilization epochs
+// are managed by the stage service per withdraw interval; the snapshot value
+// simply refreshes each interval, so this is a no-op.
+func (in *remoteInstance) ResetUtilizationEpoch() {}
+
+// Level implements core.Instance.
+func (in *remoteInstance) Level() cmp.Level {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.level
+}
+
+// SetLevel implements core.Instance: budget-checked at the center, applied
+// over RPC.
+func (in *remoteInstance) SetLevel(l cmp.Level) error {
+	if !l.Valid() {
+		return fmt.Errorf("dist: invalid level %d", int(l))
+	}
+	cur := in.Level()
+	if l == cur {
+		return nil
+	}
+	delta := in.stage.center.model.Power(l) - in.stage.center.model.Power(cur)
+	if delta > 0 && in.stage.center.Headroom()+1e-9 < delta {
+		return cmp.ErrBudgetExceeded
+	}
+	if err := in.stage.client.Call(MethodSetLevel, SetLevelArgs{Instance: in.Name(), Level: l}, nil); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	in.level = l
+	in.mu.Unlock()
+	return nil
+}
+
+// Interface conformance.
+var (
+	_ core.System       = (*Center)(nil)
+	_ core.StageControl = (*remoteStage)(nil)
+	_ core.Instance     = (*remoteInstance)(nil)
+)

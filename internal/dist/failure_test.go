@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/core"
+)
+
+// Failure injection for the distributed prototype: a stage service dying
+// mid-run must surface as errors at the Command Center, not hangs, and the
+// surviving stages must keep answering.
+
+func TestStageDeathSurfacesToCenter(t *testing.T) {
+	center, svcs := startPipeline(t, 100)
+	// Kill the QA stage service.
+	svcs[1].Close()
+	_, err := center.Submit([][]time.Duration{
+		{20 * time.Millisecond},
+		{20 * time.Millisecond},
+	})
+	if err == nil {
+		t.Fatal("submit through a dead stage succeeded")
+	}
+	if !strings.Contains(err.Error(), "QA") {
+		t.Errorf("error does not name the dead stage: %v", err)
+	}
+	// Policy adjustment also fails loudly (stats refresh hits the dead
+	// stage) rather than acting on stale state.
+	if _, err := center.Adjust(core.NewFreqBoost(core.DefaultConfig())); err == nil {
+		t.Error("Adjust succeeded with a dead stage")
+	}
+}
+
+func TestCenterCloseIsIdempotentAndStopsCalls(t *testing.T) {
+	center, _ := startPipeline(t, 100)
+	center.Close()
+	center.Close() // second close must not panic
+	if _, err := center.Submit([][]time.Duration{
+		{time.Millisecond},
+		{time.Millisecond},
+	}); err == nil {
+		t.Error("submit after center close succeeded")
+	}
+}
+
+func TestRemoteActuationOnDeadStageErrors(t *testing.T) {
+	center, svcs := startPipeline(t, 100)
+	st := center.Stages()[0]
+	in := st.Instances()[0]
+	svcs[0].Close()
+	if err := in.SetLevel(cmp.MaxLevel); err == nil {
+		t.Error("DVFS on a dead stage succeeded")
+	}
+	if _, err := st.Clone(in); err == nil {
+		t.Error("clone on a dead stage succeeded")
+	}
+}
+
+func TestUnknownInstanceActuationErrors(t *testing.T) {
+	center, _ := startPipeline(t, 100)
+	st := center.Stages()[0].(*remoteStage)
+	ghost := &remoteInstance{stage: st, stats: InstanceStats{Name: "ASR_999", Level: cmp.MidLevel}, level: cmp.MidLevel}
+	if err := ghost.SetLevel(cmp.MaxLevel); err == nil {
+		t.Error("DVFS on an unknown remote instance succeeded")
+	}
+	if _, err := st.Clone(ghost); err == nil {
+		t.Error("clone of an unknown remote instance succeeded")
+	}
+	if err := st.Withdraw(ghost, nil); err == nil {
+		t.Error("withdraw of an unknown remote instance succeeded")
+	}
+}
+
+func TestProcessRejectsEmptyWork(t *testing.T) {
+	center, _ := startPipeline(t, 100)
+	if _, err := center.Submit([][]time.Duration{
+		{},
+		{time.Millisecond},
+	}); err == nil {
+		t.Error("empty work row accepted")
+	}
+}

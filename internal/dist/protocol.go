@@ -1,0 +1,117 @@
+// Package dist implements the distributed real-system prototype (§7 of the
+// paper): each processing stage runs as its own process hosting a pool of
+// service instances, and a Command Center process dispatches queries through
+// the stages over RPC, collects the query-carried latency records, and
+// drives the control policy — DVFS, instance boosting and withdraw — against
+// the remote stages, all under a global power budget it owns.
+//
+// The transport is internal/rpc (the Thrift stand-in). Stage services use
+// the live engine with a single stage each, so the service model is the same
+// one the simulator and the in-process live cluster run.
+package dist
+
+import (
+	"time"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/query"
+)
+
+// Method names of the stage-service RPC surface.
+const (
+	MethodProcess  = "stage.process"
+	MethodStats    = "stage.stats"
+	MethodSetLevel = "stage.setlevel"
+	MethodClone    = "stage.clone"
+	MethodWithdraw = "stage.withdraw"
+	MethodInfo     = "stage.info"
+)
+
+// ProcessArgs carries one query into a stage service. Work holds the
+// branch demands for this stage (one entry for pipeline stages).
+type ProcessArgs struct {
+	QueryID uint64          `json:"query_id"`
+	Work    []time.Duration `json:"work"`
+}
+
+// RecordWire is a query.Record in wire form.
+type RecordWire struct {
+	Instance   string        `json:"instance"`
+	Stage      string        `json:"stage"`
+	QueueEnter time.Duration `json:"queue_enter"`
+	ServeStart time.Duration `json:"serve_start"`
+	ServeEnd   time.Duration `json:"serve_end"`
+}
+
+// ProcessReply returns the latency records the stage appended — the joint
+// design's query-carried statistics.
+type ProcessReply struct {
+	Records []RecordWire `json:"records"`
+}
+
+// InstanceStats is one instance's realtime and configuration state.
+type InstanceStats struct {
+	Name        string    `json:"name"`
+	QueueLen    int       `json:"queue_len"`
+	Level       cmp.Level `json:"level"`
+	Utilization float64   `json:"utilization"`
+}
+
+// StatsReply is the stage's instance snapshot.
+type StatsReply struct {
+	Instances []InstanceStats `json:"instances"`
+}
+
+// SetLevelArgs requests a DVFS transition on one instance.
+type SetLevelArgs struct {
+	Instance string    `json:"instance"`
+	Level    cmp.Level `json:"level"`
+}
+
+// CloneArgs requests instance boosting of the named bottleneck.
+type CloneArgs struct {
+	Instance string `json:"instance"`
+}
+
+// CloneReply names the launched clone.
+type CloneReply struct {
+	Name  string    `json:"name"`
+	Level cmp.Level `json:"level"`
+}
+
+// WithdrawArgs requests draining the named instance, redirecting its load to
+// Target when given.
+type WithdrawArgs struct {
+	Instance string `json:"instance"`
+	Target   string `json:"target,omitempty"`
+}
+
+// InfoReply describes the stage.
+type InfoReply struct {
+	Name     string  `json:"name"`
+	CanScale bool    `json:"can_scale"`
+	MemBound float64 `json:"mem_bound"`
+}
+
+// toRecord converts wire form back to the query record.
+func (r RecordWire) toRecord(id query.ID) query.Record {
+	return query.Record{
+		Query:      id,
+		Stage:      r.Stage,
+		Instance:   r.Instance,
+		QueueEnter: r.QueueEnter,
+		ServeStart: r.ServeStart,
+		ServeEnd:   r.ServeEnd,
+	}
+}
+
+// fromRecord converts a query record to wire form.
+func fromRecord(rec query.Record) RecordWire {
+	return RecordWire{
+		Instance:   rec.Instance,
+		Stage:      rec.Stage,
+		QueueEnter: rec.QueueEnter,
+		ServeStart: rec.ServeStart,
+		ServeEnd:   rec.ServeEnd,
+	}
+}

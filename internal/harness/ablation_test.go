@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"powerchief/internal/app"
+	"powerchief/internal/core"
+	"powerchief/internal/workload"
+)
+
+func rowOf(a *AblationResult, label string) (AblationRow, bool) {
+	for _, r := range a.Rows {
+		if strings.HasPrefix(r.Label, label) {
+			return r, true
+		}
+	}
+	return AblationRow{}, false
+}
+
+func TestAblationMetricEq1Wins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	res, err := AblationMetric(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq1, ok := rowOf(res, "expected-delay")
+	if !ok {
+		t.Fatal("Eq.1 row missing")
+	}
+	for _, r := range res.Rows {
+		t.Logf("%-24s avg=%.1fx p99=%.1fx power=%.2fW", r.Label, r.Avg, r.P99, r.AvgPower)
+	}
+	// Equation 1 must beat the pure serving-time metric decisively (the
+	// serving metric never sees the queue burst). The processing metric can
+	// get close; serving alone cannot.
+	serving, _ := rowOf(res, "avg-serving")
+	if eq1.Avg < serving.Avg {
+		t.Errorf("Eq.1 (%.1fx) lost to avg-serving (%.1fx)", eq1.Avg, serving.Avg)
+	}
+	if eq1.Avg < 5 {
+		t.Errorf("Eq.1 improvement %.1fx suspiciously low", eq1.Avg)
+	}
+}
+
+func TestAblationWithdrawHelpsPhasedLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	res, err := AblationWithdraw(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, _ := rowOf(res, "withdraw-150s")
+	off, _ := rowOf(res, "withdraw-off")
+	t.Logf("withdraw on: %.1fx @ %.2fW; off: %.1fx @ %.2fW", on.Avg, on.AvgPower, off.Avg, off.AvgPower)
+	// Withdraw must not hurt latency and should not use more power.
+	if on.Avg < 0.8*off.Avg {
+		t.Errorf("withdraw hurt latency: %.1fx vs %.1fx", on.Avg, off.Avg)
+	}
+}
+
+func TestAblationSplitCloneHelpsMediumLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	res, err := AblationSplitClone(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, _ := rowOf(res, "split-clone")
+	without, _ := rowOf(res, "literal-alg1")
+	t.Logf("split-clone: %.2fx; literal: %.2fx", with.Avg, without.Avg)
+	if with.Avg < without.Avg {
+		t.Errorf("split-clone (%.2fx) did not beat the literal algorithm (%.2fx)", with.Avg, without.Avg)
+	}
+}
+
+func TestAblationThresholdSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	res, err := AblationBalanceThreshold(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		t.Logf("%-14s avg=%.1fx", r.Label, r.Avg)
+		if r.Avg < 1 {
+			t.Errorf("threshold %s made high load worse (%.2fx)", r.Label, r.Avg)
+		}
+	}
+}
+
+func TestAblationDispatcherRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	res, err := AblationDispatcher(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		t.Logf("%-22s avg=%.1fx p99=%.1fx", r.Label, r.Avg, r.P99)
+		if r.Avg < 3 {
+			t.Errorf("dispatcher %s collapsed under PowerChief (%.1fx)", r.Label, r.Avg)
+		}
+	}
+}
+
+func TestWriteAblationAndTail(t *testing.T) {
+	a := &AblationResult{ID: "x", Title: "t", Rows: []AblationRow{{Label: "v", Avg: 2, P99: 3, AvgPower: 10}}}
+	var sb strings.Builder
+	if err := WriteAblation(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2.0x") {
+		t.Errorf("ablation table = %q", sb.String())
+	}
+	tr := &TailResult{Rows: []TailRow{{Policy: "p", P50: time.Second}}}
+	sb.Reset()
+	if err := WriteTail(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "p50") {
+		t.Errorf("tail table = %q", sb.String())
+	}
+}
+
+func TestTailAnalysisOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	res, err := TailAnalysis(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var base, pc TailRow
+	for _, r := range res.Rows {
+		t.Logf("%-14s p50=%v p99=%v p99.9=%v", r.Policy, r.P50, r.P99, r.P999)
+		// Percentiles are monotone within a row.
+		if !(r.P50 <= r.P90 && r.P90 <= r.P95 && r.P95 <= r.P99 && r.P99 <= r.P999 && r.P999 <= r.Max) {
+			t.Errorf("%s: percentiles not monotone", r.Policy)
+		}
+		switch r.Policy {
+		case "Baseline":
+			base = r
+		case "PowerChief":
+			pc = r
+		}
+	}
+	// PowerChief compresses the whole distribution under the constraint.
+	if pc.P999 >= base.P999 {
+		t.Errorf("PowerChief p99.9 (%v) not below baseline (%v)", pc.P999, base.P999)
+	}
+}
+
+func TestHopDelayExtension(t *testing.T) {
+	base := mitigationScenario(app.Sirius(), "hop-base", workload.Low, nil, 3)
+	base.Duration = 300 * time.Second
+	noHop, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withHop := base
+	withHop.Name = "hop-10ms"
+	withHop.HopDelay = func(from, to int) time.Duration { return 10 * time.Millisecond }
+	hop, err := Run(withHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two inter-stage hops of 10ms each: mean latency grows by ≈20ms.
+	delta := hop.Latency.Mean() - noHop.Latency.Mean()
+	if delta < 15*time.Millisecond || delta > 120*time.Millisecond {
+		t.Errorf("hop delay added %v to mean latency, want ≈20ms", delta)
+	}
+	if hop.Completed != noHop.Completed {
+		t.Errorf("hop delay changed completions: %d vs %d", hop.Completed, noHop.Completed)
+	}
+}
+
+// TestColocatedApplications demonstrates §8.5's per-application management:
+// two independent applications, each with its own chip budget and its own
+// PowerChief instance, sharing one simulation timeline.
+func TestColocatedApplications(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	run := func(name string, a app.App, seed int64) (*Result, *Result) {
+		base, err := Run(mitigationScenario(a, name+"-base", workload.High, nil, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		managed, err := Run(mitigationScenario(a, name+"-pc", workload.High, func() core.Policy {
+			return core.NewPowerChief(core.DefaultConfig())
+		}, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return base, managed
+	}
+	// Each application is managed on a per-application basis: its own
+	// budget, its own Command Center (the paper's assumption in §8.5). Both
+	// must improve independently.
+	sb, sm := run("colo-sirius", app.Sirius(), 11)
+	nb, nm := run("colo-nlp", app.NLP(), 12)
+	sAvg, _ := Improvement(sb, sm)
+	nAvg, _ := Improvement(nb, nm)
+	t.Logf("sirius %.1fx, nlp %.1fx under per-app budgets", sAvg, nAvg)
+	if sAvg < 2 || nAvg < 2 {
+		t.Errorf("per-app management underperformed: %.1fx / %.1fx", sAvg, nAvg)
+	}
+}

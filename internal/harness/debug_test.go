@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"powerchief/internal/app"
+	"powerchief/internal/core"
+	"powerchief/internal/workload"
+)
+
+// TestDebugMediumTrajectory prints the PowerChief decision trajectory at
+// medium load; run with -run DebugMedium -v to inspect.
+func TestDebugMediumTrajectory(t *testing.T) {
+	if testing.Short() || testing.Verbose() == false {
+		t.Skip("debug only")
+	}
+	sc := mitigationScenario(app.Sirius(), "debug", workload.Medium, func() core.Policy {
+		return core.NewPowerChief(core.DefaultConfig())
+	}, 7)
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct frequency/instance trajectory from the trace.
+	for _, name := range res.Trace.Names() {
+		s := res.Trace.Get(name)
+		line := name + ": "
+		last := -1.0
+		for _, p := range s.Points {
+			if p.Value != last {
+				line += fmt.Sprintf("%ds=%.2g ", int(p.At.Seconds()), p.Value)
+				last = p.Value
+			}
+		}
+		t.Log(line)
+	}
+	t.Logf("latency %v boosts %v", res.Latency, res.Boosts)
+	_ = time.Second
+}

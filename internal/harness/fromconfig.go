@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+
+	"powerchief/internal/app"
+	"powerchief/internal/cmp"
+	"powerchief/internal/config"
+	"powerchief/internal/core"
+	"powerchief/internal/workload"
+)
+
+// FromConfig materializes a runnable Scenario from a declarative experiment
+// description (internal/config), so experiments can be stored as JSON files
+// and replayed exactly.
+func FromConfig(e config.Experiment) (Scenario, error) {
+	if err := e.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	a, err := app.ByName(e.App)
+	if err != nil {
+		return Scenario{}, err
+	}
+	load, err := workload.ParseLevel(e.LoadLevel)
+	if err != nil {
+		return Scenario{}, err
+	}
+	// The adjust interval lives on the scenario; the remaining control
+	// parameters configure the policy.
+	cfg := core.DefaultConfig()
+	if e.BalanceThreshold > 0 {
+		cfg.BalanceThreshold = e.BalanceThreshold.Std()
+	}
+	cfg.WithdrawInterval = e.WithdrawInterval.Std()
+
+	var policy func() core.Policy
+	switch e.Policy {
+	case "baseline":
+		policy = func() core.Policy { return core.Static{} }
+	case "freq-boost":
+		policy = func() core.Policy { return core.NewFreqBoost(cfg) }
+	case "inst-boost":
+		policy = func() core.Policy { return core.NewInstBoost(cfg) }
+	case "powerchief":
+		policy = func() core.Policy { return core.NewPowerChief(cfg) }
+	case "pegasus":
+		qos := e.QoS.Std()
+		policy = func() core.Policy { return core.NewPegasus(qos) }
+	case "saver":
+		qos := e.QoS.Std()
+		policy = func() core.Policy { return core.NewPowerChiefSaver(qos, cfg) }
+	default:
+		return Scenario{}, fmt.Errorf("harness: unknown policy %q", e.Policy)
+	}
+
+	sc := Scenario{
+		Name:           e.Name,
+		App:            a,
+		Instances:      e.Instances,
+		Level:          e.Level(),
+		Budget:         cmp.Watts(e.BudgetWatts),
+		Policy:         policy,
+		AdjustInterval: e.AdjustInterval.Std(),
+		Source:         constantLoad(load),
+		Duration:       e.Duration.Std(),
+		Seed:           e.Seed,
+	}
+	return sc, nil
+}

@@ -1,0 +1,230 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"powerchief/internal/app"
+	"powerchief/internal/cmp"
+	"powerchief/internal/config"
+	"powerchief/internal/core"
+	"powerchief/internal/query"
+	"powerchief/internal/stage"
+	"powerchief/internal/workload"
+)
+
+func TestRunValidation(t *testing.T) {
+	base := Scenario{App: app.Sirius(), Level: cmp.MidLevel, Budget: 13.56}
+	if _, err := Run(base); err == nil {
+		t.Error("zero duration accepted")
+	}
+	bad := base
+	bad.Duration = time.Second
+	bad.StageLevels = []cmp.Level{cmp.MidLevel} // 1 level for 3 stages
+	if _, err := Run(bad); err == nil {
+		t.Error("stage-level shape mismatch accepted")
+	}
+	empty := Scenario{Duration: time.Second}
+	if _, err := Run(empty); err == nil {
+		t.Error("empty app accepted")
+	}
+	tiny := base
+	tiny.Duration = time.Second
+	tiny.Budget = 1 // cannot host the initial configuration
+	if _, err := Run(tiny); err == nil {
+		t.Error("infeasible budget accepted")
+	}
+}
+
+func TestRunDerivesBudgetFromConfiguration(t *testing.T) {
+	res, err := Run(Scenario{
+		App: app.Sirius(), Level: cmp.MidLevel, Budget: 0,
+		Source: constantLoad(workload.Low), Duration: 60 * time.Second, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * cmp.DefaultModel().Power(cmp.MidLevel)
+	if !cmp.ApproxEqual(res.PeakPower, want) {
+		t.Errorf("derived peak = %v, want %v", res.PeakPower, want)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(mitigationScenario(app.Sirius(), "det", workload.High, func() core.Policy {
+			return core.NewPowerChief(core.DefaultConfig())
+		}, 123))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Completed != b.Completed || a.Latency.Mean() != b.Latency.Mean() ||
+		a.Latency.P99() != b.Latency.P99() || a.AvgPower != b.AvgPower {
+		t.Errorf("same seed diverged: %v vs %v (%d vs %d queries)",
+			a.Latency.Mean(), b.Latency.Mean(), a.Completed, b.Completed)
+	}
+}
+
+func TestRunSeedSensitivity(t *testing.T) {
+	r1, err := Run(mitigationScenario(app.Sirius(), "s1", workload.High, nil, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(mitigationScenario(app.Sirius(), "s2", workload.High, nil, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Completed == r2.Completed && r1.Latency.Mean() == r2.Latency.Mean() {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestRunDrainCompletesQueries(t *testing.T) {
+	// Even under overload, the drain phase (generator stopped) lets all
+	// submitted queries finish within the drain window for this short run.
+	res, err := Run(mitigationScenario(app.Sirius(), "drain", workload.High, nil, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Submitted {
+		t.Errorf("completed %d of %d after drain", res.Completed, res.Submitted)
+	}
+}
+
+func TestRunRecordsTraceSeries(t *testing.T) {
+	res, err := Run(mitigationScenario(app.Sirius(), "trace", workload.Medium, func() core.Policy {
+		return core.NewPowerChief(core.DefaultConfig())
+	}, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"power", "latency", "instances:ASR", "instances:QA", "freq:QA_1"} {
+		if res.Trace.Get(name) == nil {
+			t.Errorf("missing trace series %q", name)
+		}
+	}
+	// Power trace never exceeds the budget.
+	for _, p := range res.Trace.Get("power").Points {
+		if p.Value > 13.56+1e-6 {
+			t.Fatalf("power sample %v exceeds the budget", p.Value)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteRuntimeTrace(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "time_s,power") {
+		t.Error("trace CSV header missing")
+	}
+}
+
+func TestRendererOutputs(t *testing.T) {
+	fig := &Figure{ID: "f", Title: "t", Groups: []BarGroup{
+		{Label: "low", Bars: []Bar{{Label: "X", Avg: 2.5, P99: 3.5}}},
+	}}
+	var sb strings.Builder
+	if err := WriteFigure(&sb, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2.5x") {
+		t.Errorf("figure table = %q", sb.String())
+	}
+	sb.Reset()
+	if err := WriteFigure2(&sb, &Figure2Result{Rows: []Figure2Row{{Label: "b", Normalized: 0.5}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0.50") {
+		t.Errorf("figure2 table = %q", sb.String())
+	}
+	sb.Reset()
+	q := &QoSResult{ID: "q", Title: "t", QoS: time.Second, Runs: []QoSRun{
+		{Policy: "p", QoSFraction: 0.5, PowerFraction: 0.6, Result: &Result{}},
+	}}
+	if err := WriteQoS(&sb, q); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "40%") {
+		t.Errorf("qos table = %q", sb.String())
+	}
+	sb.Reset()
+	if err := WriteHeadline(&sb, Headline{SiriusAvgX: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "20.0x") {
+		t.Errorf("headline = %q", sb.String())
+	}
+}
+
+func TestObserveHookReceivesRecords(t *testing.T) {
+	sc := mitigationScenario(app.Sirius(), "observe", workload.Low, nil, 9)
+	sc.Duration = 60 * time.Second
+	seen := 0
+	sc.Observe = func(q *query.Query) {
+		seen++
+		if len(q.Records) != 3 {
+			t.Errorf("query %d carried %d records, want 3", q.ID, len(q.Records))
+		}
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(seen) != res.Completed {
+		t.Errorf("observed %d of %d completions", seen, res.Completed)
+	}
+}
+
+func TestFromConfigRoundTrip(t *testing.T) {
+	e := config.MitigationSetup("sirius", "powerchief", "high", 7)
+	e.Duration = config.Duration(120 * time.Second)
+	sc, err := FromConfig(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Budget != 13.56 || sc.Level != cmp.MidLevel || sc.AdjustInterval != 25*time.Second {
+		t.Errorf("scenario fields wrong: %+v", sc)
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "powerchief" || res.Completed == 0 {
+		t.Errorf("run from config: policy=%s completed=%d", res.Policy, res.Completed)
+	}
+	// Every policy name materializes.
+	for _, p := range []string{"baseline", "freq-boost", "inst-boost", "pegasus", "saver"} {
+		e := config.MitigationSetup("nlp", p, "low", 1)
+		if p == "pegasus" || p == "saver" {
+			e.QoS = config.Duration(2 * time.Second)
+		}
+		if _, err := FromConfig(e); err != nil {
+			t.Errorf("FromConfig(%s): %v", p, err)
+		}
+	}
+	bad := e
+	bad.App = "doom"
+	if _, err := FromConfig(bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestDispatcherOptionApplied(t *testing.T) {
+	// A round-robin dispatcher spreads queries evenly even when queue
+	// lengths differ — observable through per-instance served counts only
+	// indirectly; here we simply assert the option survives a full run.
+	sc := mitigationScenario(app.Sirius(), "rr", workload.Medium, nil, 5)
+	sc.Instances = []int{2, 1, 2}
+	sc.Budget = 40
+	sc.Dispatcher = func() stage.Dispatcher { return &stage.RoundRobin{} }
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no queries completed with a custom dispatcher")
+	}
+}

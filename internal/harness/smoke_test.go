@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"powerchief/internal/app"
+	"powerchief/internal/cmp"
+	"powerchief/internal/core"
+	"powerchief/internal/workload"
+)
+
+// siriusScenario builds the Table 2 mitigation setup for one policy.
+func siriusScenario(name string, level workload.Level, policy func() core.Policy, seed int64) Scenario {
+	return Scenario{
+		Name:   name,
+		App:    app.Sirius(),
+		Level:  cmp.MidLevel,
+		Policy: policy,
+		Source: func(capacity float64) workload.Source {
+			return workload.Constant(workload.RateForUtilization(capacity, level.Utilization()))
+		},
+		Duration: 900 * time.Second,
+		Seed:     seed,
+	}
+}
+
+func TestSmokeBaselineVsPowerChiefHighLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	base, err := Run(siriusScenario("base", workload.High, nil, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := Run(siriusScenario("pc", workload.High, func() core.Policy {
+		return core.NewPowerChief(core.DefaultConfig())
+	}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, p99 := Improvement(base, pc)
+	t.Logf("baseline: %v (completed %d/%d)", base.Latency, base.Completed, base.Submitted)
+	t.Logf("powerchief: %v (completed %d/%d, boosts %v, withdrawn %d)",
+		pc.Latency, pc.Completed, pc.Submitted, pc.Boosts, pc.Withdrawn)
+	t.Logf("improvement: avg %.1fx p99 %.1fx", avg, p99)
+	if avg < 2 {
+		t.Errorf("PowerChief avg improvement %.2fx, want ≥ 2x under high load", avg)
+	}
+	if p99 < 2 {
+		t.Errorf("PowerChief p99 improvement %.2fx, want ≥ 2x under high load", p99)
+	}
+}

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"powerchief/internal/app"
+	"powerchief/internal/cmp"
+	"powerchief/internal/core"
+	"powerchief/internal/workload"
+)
+
+// BudgetSweep studies latency as a function of the power budget — the
+// sensitivity question behind the paper's fixed 13.56 W choice: how much
+// budget does each policy need to reach a given responsiveness, and how
+// much of the gap between the baseline and an unconstrained system does
+// PowerChief close at each point?
+
+// SweepPoint is one (budget, policy) measurement.
+type SweepPoint struct {
+	Budget   cmp.Watts
+	Policy   string
+	Avg      time.Duration
+	P99      time.Duration
+	AvgPower cmp.Watts
+}
+
+// SweepResult is a full budget sweep.
+type SweepResult struct {
+	App    string
+	Load   workload.Level
+	Points []SweepPoint
+}
+
+// BudgetSweep runs baseline and PowerChief across a range of budgets at the
+// given load. Budgets below the minimum feasible configuration (three cores
+// at the DVFS floor) are skipped.
+func BudgetSweep(a app.App, load workload.Level, budgets []cmp.Watts, seed int64) (*SweepResult, error) {
+	out := &SweepResult{App: a.Name, Load: load}
+	model := cmp.DefaultModel()
+	minBudget := cmp.Watts(len(a.Stages)) * model.MinPower()
+	for _, b := range budgets {
+		if b < minBudget {
+			continue
+		}
+		for _, p := range []struct {
+			Label string
+			New   func() core.Policy
+		}{
+			{"baseline", func() core.Policy { return core.Static{} }},
+			{"powerchief", func() core.Policy { return core.NewPowerChief(core.DefaultConfig()) }},
+		} {
+			sc := mitigationScenario(a, fmt.Sprintf("sweep-%s-%.1fW-%s", a.Name, float64(b), p.Label), load, p.New, seed)
+			sc.Budget = b
+			// The baseline splits the budget equally: the highest uniform
+			// level that fits.
+			perStage := b / cmp.Watts(len(a.Stages))
+			lvl, ok := cmp.HighestAffordable(model, perStage)
+			if !ok {
+				continue
+			}
+			sc.Level = lvl
+			res, err := Run(sc)
+			if err != nil {
+				return nil, err
+			}
+			out.Points = append(out.Points, SweepPoint{
+				Budget:   b,
+				Policy:   p.Label,
+				Avg:      res.Latency.Mean(),
+				P99:      res.Latency.P99(),
+				AvgPower: res.AvgPower,
+			})
+		}
+	}
+	if len(out.Points) == 0 {
+		return nil, fmt.Errorf("harness: no feasible budget in the sweep")
+	}
+	return out, nil
+}
+
+// DefaultSweepBudgets spans from barely feasible to comfortably
+// over-provisioned for a three-stage application.
+func DefaultSweepBudgets() []cmp.Watts {
+	return []cmp.Watts{7, 9, 11, 13.56, 17, 22, 28}
+}
+
+// WriteSweep renders the sweep as a text table.
+func WriteSweep(w io.Writer, s *SweepResult) error {
+	if _, err := fmt.Fprintf(w, "== sweep: latency vs power budget (%s, %s load) ==\n", s.App, s.Load); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "budget\tpolicy\tavg latency\tp99 latency\tavg power")
+	for _, p := range s.Points {
+		fmt.Fprintf(tw, "%.2fW\t%s\t%v\t%v\t%.2fW\n",
+			float64(p.Budget), p.Policy,
+			p.Avg.Round(time.Millisecond), p.P99.Round(time.Millisecond), float64(p.AvgPower))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,81 @@
+package live
+
+import (
+	"sync"
+	"time"
+
+	"powerchief/internal/core"
+)
+
+// Controller drives a control policy against a live cluster on a wall-clock
+// ticker — the Command Center's control loop of the real-system prototype.
+type Controller struct {
+	cluster *Cluster
+	agg     *core.Aggregator
+	policy  core.Policy
+
+	mu       sync.Mutex
+	outcomes []core.BoostOutcome
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartController begins adjusting the cluster every virtual interval
+// (scaled to wall time by the cluster's time scale). The aggregator must
+// already be registered as a completion callback.
+func StartController(c *Cluster, agg *core.Aggregator, policy core.Policy, interval time.Duration) *Controller {
+	if c == nil || agg == nil || policy == nil {
+		panic("live: controller requires a cluster, aggregator and policy")
+	}
+	if interval <= 0 {
+		panic("live: controller interval must be positive")
+	}
+	ctl := &Controller{
+		cluster: c,
+		agg:     agg,
+		policy:  policy,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	wall := c.wall(interval)
+	if wall <= 0 {
+		wall = time.Millisecond
+	}
+	go func() {
+		defer close(ctl.done)
+		ticker := time.NewTicker(wall)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctl.stop:
+				return
+			case <-ticker.C:
+				out := policy.Adjust(c, agg)
+				ctl.mu.Lock()
+				ctl.outcomes = append(ctl.outcomes, out)
+				ctl.mu.Unlock()
+			}
+		}
+	}()
+	return ctl
+}
+
+// Outcomes returns a copy of the decisions taken so far.
+func (ctl *Controller) Outcomes() []core.BoostOutcome {
+	ctl.mu.Lock()
+	defer ctl.mu.Unlock()
+	out := make([]core.BoostOutcome, len(ctl.outcomes))
+	copy(out, ctl.outcomes)
+	return out
+}
+
+// Stop halts the control loop and waits for it to exit.
+func (ctl *Controller) Stop() {
+	select {
+	case <-ctl.stop:
+	default:
+		close(ctl.stop)
+	}
+	<-ctl.done
+}

@@ -1,0 +1,182 @@
+package live
+
+import (
+	"fmt"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/core"
+	"powerchief/internal/query"
+	"powerchief/internal/stage"
+)
+
+// Stage is one live processing stage: a pool of worker instances. It
+// implements core.StageControl. All mutable state is guarded by the
+// cluster's mutex.
+type Stage struct {
+	cluster *Cluster
+	index   int
+	spec    StageSpec
+
+	instances []*Instance
+	seq       int
+}
+
+// Name implements core.StageControl.
+func (st *Stage) Name() string { return st.spec.Name }
+
+// CanScale implements core.StageControl.
+func (st *Stage) CanScale() bool { return st.spec.Kind == stage.Pipeline }
+
+// Profile implements core.StageControl.
+func (st *Stage) Profile() cmp.SpeedupProfile { return st.spec.Profile }
+
+// Instances implements core.StageControl: live, non-draining instances.
+func (st *Stage) Instances() []core.Instance {
+	st.cluster.mu.Lock()
+	defer st.cluster.mu.Unlock()
+	return st.activeLocked()
+}
+
+func (st *Stage) activeLocked() []core.Instance {
+	var out []core.Instance
+	for _, in := range st.instances {
+		if !in.draining && !in.retired {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// launchLocked claims a core and starts a worker; caller holds cluster.mu.
+func (st *Stage) launchLocked(level cmp.Level) (*Instance, error) {
+	coreID, err := st.cluster.chip.Allocate(level)
+	if err != nil {
+		return nil, err
+	}
+	st.seq++
+	in := newInstance(st, fmt.Sprintf("%s_%d", st.spec.Name, st.seq), len(st.instances), coreID, level)
+	st.instances = append(st.instances, in)
+	st.cluster.wg.Add(1)
+	go in.run()
+	return in, nil
+}
+
+// Clone implements core.StageControl: instance boosting with work stealing.
+func (st *Stage) Clone(bottleneck core.Instance) (core.Instance, error) {
+	src, ok := bottleneck.(*Instance)
+	if !ok {
+		return nil, fmt.Errorf("live: clone target %s is not a live instance", bottleneck.Name())
+	}
+	st.cluster.mu.Lock()
+	defer st.cluster.mu.Unlock()
+	if st.spec.Kind == stage.FanOut {
+		return nil, fmt.Errorf("live: fan-out instances cannot be cloned")
+	}
+	if src.stage != st || src.retired {
+		return nil, fmt.Errorf("live: invalid clone source %s", bottleneck.Name())
+	}
+	clone, err := st.launchLocked(src.level)
+	if err != nil {
+		return nil, err
+	}
+	// Steal the tail half of the source queue.
+	n := len(src.queue)
+	steal := n / 2
+	if steal > 0 {
+		moved := src.queue[n-steal:]
+		src.queue = src.queue[:n-steal]
+		clone.queue = append(clone.queue, moved...)
+		clone.wake()
+	}
+	return clone, nil
+}
+
+// Withdraw implements core.StageControl: drain and release.
+func (st *Stage) Withdraw(victim, target core.Instance) error {
+	v, ok := victim.(*Instance)
+	if !ok {
+		return fmt.Errorf("live: withdraw victim %s is not a live instance", victim.Name())
+	}
+	st.cluster.mu.Lock()
+	defer st.cluster.mu.Unlock()
+	if st.spec.Kind == stage.FanOut {
+		return fmt.Errorf("live: fan-out instances cannot be withdrawn")
+	}
+	if v.stage != st || v.draining || v.retired {
+		return fmt.Errorf("live: invalid withdraw victim %s", victim.Name())
+	}
+	others := 0
+	for _, o := range st.instances {
+		if o != v && !o.draining && !o.retired {
+			others++
+		}
+	}
+	if others == 0 {
+		return fmt.Errorf("live: cannot withdraw the last active instance of %s", st.spec.Name)
+	}
+	v.draining = true
+	if len(v.queue) > 0 {
+		var tgt *Instance
+		if t, ok := target.(*Instance); ok && t != v && !t.draining && !t.retired {
+			tgt = t
+		} else {
+			tgt = st.pickLocked()
+		}
+		tgt.queue = append(tgt.queue, v.queue...)
+		v.queue = nil
+		tgt.wake()
+	}
+	v.wake() // so an idle worker notices the drain and retires
+	return nil
+}
+
+// admitLocked routes a query into the stage; caller holds cluster.mu.
+func (st *Stage) admitLocked(q *query.Query) {
+	switch st.spec.Kind {
+	case stage.Pipeline:
+		in := st.pickLocked()
+		in.enqueueLocked(q)
+	case stage.FanOut:
+		active := make([]*Instance, 0, len(st.instances))
+		for _, in := range st.instances {
+			if !in.draining && !in.retired {
+				active = append(active, in)
+			}
+		}
+		q.SetPending(len(active))
+		for _, in := range active {
+			in.enqueueLocked(q)
+		}
+	default:
+		panic(fmt.Sprintf("live: unknown stage kind %v", st.spec.Kind))
+	}
+}
+
+// pickLocked is join-shortest-queue over active instances.
+func (st *Stage) pickLocked() *Instance {
+	var best *Instance
+	bestLen := 0
+	for _, in := range st.instances {
+		if in.draining || in.retired {
+			continue
+		}
+		l := in.backlogLocked()
+		if best == nil || l < bestLen {
+			best, bestLen = in, l
+		}
+	}
+	if best == nil {
+		panic(fmt.Sprintf("live: stage %s has no active instance", st.spec.Name))
+	}
+	return best
+}
+
+// removeLocked detaches a retired instance.
+func (st *Stage) removeLocked(in *Instance) {
+	for i, o := range st.instances {
+		if o == in {
+			st.instances = append(st.instances[:i], st.instances[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package query implements the extended query data structure of the paper's
+// service/query joint design (§4.1, Figure 6): as a query walks through the
+// processing stages, every service instance appends a latency record
+// (instance signature, queuing time, serving time) to the query itself. After
+// the last stage the accumulated records are delivered to the Command Center,
+// which aggregates them into per-instance latency statistics — no global
+// clock synchronization, no kernel support.
+package query
+
+import (
+	"fmt"
+	"time"
+)
+
+// ID uniquely identifies a query within a run.
+type ID uint64
+
+// Record is one instance's latency statistics for one query, appended by the
+// instance when it finishes serving the query.
+type Record struct {
+	Query      ID
+	Stage      string        // stage name, e.g. "QA"
+	Instance   string        // instance signature, e.g. "QA_2"
+	QueueEnter time.Duration // virtual time the query entered the instance queue
+	ServeStart time.Duration // virtual time service began
+	ServeEnd   time.Duration // virtual time service completed
+}
+
+// Queuing returns the time the query waited in the instance queue.
+func (r Record) Queuing() time.Duration { return r.ServeStart - r.QueueEnter }
+
+// Serving returns the time the instance spent processing the query.
+func (r Record) Serving() time.Duration { return r.ServeEnd - r.ServeStart }
+
+// Processing returns the total delay contributed at the instance.
+func (r Record) Processing() time.Duration { return r.ServeEnd - r.QueueEnter }
+
+// Validate checks the record's internal time ordering.
+func (r Record) Validate() error {
+	if r.ServeStart < r.QueueEnter {
+		return fmt.Errorf("query: record %d@%s serves before queuing (%v < %v)", r.Query, r.Instance, r.ServeStart, r.QueueEnter)
+	}
+	if r.ServeEnd < r.ServeStart {
+		return fmt.Errorf("query: record %d@%s ends before starting (%v < %v)", r.Query, r.Instance, r.ServeEnd, r.ServeStart)
+	}
+	return nil
+}
+
+// Query is a user request flowing through the multi-stage pipeline. Work
+// holds the intrinsic service demand per stage, drawn by the load generator
+// when the query is created: Work[s][i] is the demand of stage s — one entry
+// for a pipeline stage, one entry per fan-out branch for a fan-out stage —
+// expressed as the service duration at the reference (lowest) frequency on a
+// perfectly CPU-bound core. The stage's speedup profile maps it to actual
+// serving time at the core's frequency.
+type Query struct {
+	ID      ID
+	Arrival time.Duration // virtual time the query entered the system
+	Work    [][]time.Duration
+	Records []Record
+
+	// Done is the virtual time the query left the last stage; zero until
+	// completion (queries never complete at virtual time zero since arrivals
+	// are strictly positive).
+	Done time.Duration
+
+	// pending counts outstanding fan-out branches at the current stage.
+	pending int
+}
+
+// New creates a query with the given arrival time and per-stage work.
+func New(id ID, arrival time.Duration, work [][]time.Duration) *Query {
+	return &Query{ID: id, Arrival: arrival, Work: work}
+}
+
+// Latency returns the end-to-end response latency; valid after completion.
+func (q *Query) Latency() time.Duration { return q.Done - q.Arrival }
+
+// Completed reports whether the query has left the pipeline.
+func (q *Query) Completed() bool { return q.Done > 0 }
+
+// WorkAt returns the service demand of stage s, branch i. Branch indexes
+// beyond the drawn work wrap around, so a stage can serve the query on any
+// instance (instance boosting clones use the same demand distribution).
+func (q *Query) WorkAt(s, i int) time.Duration {
+	if s < 0 || s >= len(q.Work) {
+		panic(fmt.Sprintf("query: stage %d out of range (have %d stages)", s, len(q.Work)))
+	}
+	branches := q.Work[s]
+	if len(branches) == 0 {
+		panic(fmt.Sprintf("query: stage %d has no work drawn", s))
+	}
+	return branches[i%len(branches)]
+}
+
+// Append adds a latency record to the query. It is called by the instance
+// that just finished serving the query (the joint design).
+func (q *Query) Append(r Record) { q.Records = append(q.Records, r) }
+
+// SetPending initializes the outstanding-branch counter for a fan-out stage.
+func (q *Query) SetPending(n int) { q.pending = n }
+
+// BranchDone decrements the outstanding-branch counter and reports whether
+// the stage is now complete.
+func (q *Query) BranchDone() bool {
+	if q.pending <= 0 {
+		panic("query: BranchDone without pending branches")
+	}
+	q.pending--
+	return q.pending == 0
+}
+
+// CriticalPath sums, per record, the processing delay the query experienced;
+// for fan-out stages the paper's end-to-end latency counts the slowest
+// branch, which the stage model accounts for in Done. The record sum is used
+// by tests to cross-check plausibility of the pipeline timing.
+func (q *Query) CriticalPath() time.Duration {
+	var total time.Duration
+	byStage := make(map[string]time.Duration)
+	for _, r := range q.Records {
+		d := r.Processing()
+		if d > byStage[r.Stage] {
+			byStage[r.Stage] = d
+		}
+	}
+	for _, d := range byStage {
+		total += d
+	}
+	return total
+}

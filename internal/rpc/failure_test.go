@@ -1,0 +1,168 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+)
+
+// Failure injection: the transport must shrug off malformed peers without
+// hanging, leaking goroutines, or corrupting other connections.
+
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestServerRejectsOversizedFrame(t *testing.T) {
+	_, addr := newTestServer(t)
+	conn := dialRaw(t, addr)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxMessageSize+1)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close the connection rather than allocate.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("connection still open after oversized frame")
+	}
+}
+
+func TestServerDropsGarbagePayload(t *testing.T) {
+	_, addr := newTestServer(t)
+	conn := dialRaw(t, addr)
+	payload := []byte("this is not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	conn.Write(hdr[:])
+	conn.Write(payload)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("connection survived a garbage frame")
+	}
+	// Other clients are unaffected.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var sum int
+	if err := c.Call("add", addArgs{2, 2}, &sum); err != nil || sum != 4 {
+		t.Errorf("healthy client broken after another's garbage: %d %v", sum, err)
+	}
+}
+
+func TestServerSurvivesAbruptDisconnects(t *testing.T) {
+	_, addr := newTestServer(t)
+	for i := 0; i < 20; i++ {
+		conn := dialRaw(t, addr)
+		// Half a header, then hang up.
+		conn.Write([]byte{0, 0})
+		conn.Close()
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out string
+	if err := c.Call("echo", "still alive", &out); err != nil || out != "still alive" {
+		t.Errorf("server unhealthy after abrupt disconnects: %q %v", out, err)
+	}
+}
+
+func TestClientSurvivesServerGarbageResponse(t *testing.T) {
+	// A raw listener that replies with a malformed frame.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Read the request frame fully, then respond with garbage.
+		var hdr [4]byte
+		if _, err := readFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		buf := make([]byte, n)
+		if _, err := readFull(conn, buf); err != nil {
+			return
+		}
+		bad := []byte("}{")
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(bad)))
+		conn.Write(hdr[:])
+		conn.Write(bad)
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		var out int
+		errCh <- c.Call("add", addArgs{1, 1}, &out)
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Error("garbage response treated as success")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("client hung on garbage response")
+	}
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := conn.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func TestResultEncodingFailureReportedToCaller(t *testing.T) {
+	s := NewServer()
+	HandleFunc(s, "bad", func(struct{}) (any, error) {
+		return map[string]any{"ch": make(chan int)}, nil // unmarshalable
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Call("bad", nil, nil)
+	if err == nil {
+		t.Error("unencodable result not reported")
+	}
+	// The connection remains usable.
+	var raw json.RawMessage
+	if err := c.Call("bad", nil, &raw); err == nil {
+		t.Error("second call also should error")
+	}
+}

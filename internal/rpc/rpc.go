@@ -1,0 +1,333 @@
+// Package rpc implements the minimal RPC transport of the real-system
+// prototype — the role Apache Thrift plays in the paper (§7.1): service
+// stages and the Command Center run as separate processes and exchange
+// typed messages over TCP. Framing is a 4-byte big-endian length prefix
+// followed by a JSON document; requests are pipelined and correlated by ID,
+// so one connection serves concurrent callers.
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxMessageSize bounds a single frame (16 MiB); larger frames abort the
+// connection rather than exhausting memory.
+const MaxMessageSize = 16 << 20
+
+// Request is one RPC call on the wire.
+type Request struct {
+	ID     uint64          `json:"id"`
+	Method string          `json:"method"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Response answers a Request with the same ID.
+type Response struct {
+	ID     uint64          `json:"id"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// writeFrame writes one length-prefixed JSON document.
+func writeFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("rpc: encoding frame: %w", err)
+	}
+	if len(payload) > MaxMessageSize {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON document into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	return json.Unmarshal(payload, v)
+}
+
+// Handler serves one method. Params hold the caller's JSON-encoded argument;
+// the returned value is JSON-encoded as the result.
+type Handler func(params json.RawMessage) (any, error)
+
+// Server dispatches framed requests to registered handlers. Each connection
+// gets a reader goroutine; each request is handled on its own goroutine so a
+// slow method does not block the connection.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+
+	lnMu     sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
+}
+
+// Handle registers a method handler. Registering a duplicate method panics —
+// it is always a programming error.
+func (s *Server) Handle(method string, h Handler) {
+	if method == "" || h == nil {
+		panic("rpc: Handle requires a method name and handler")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic("rpc: duplicate handler for " + method)
+	}
+	s.handlers[method] = h
+}
+
+// HandleFunc registers a typed handler: fn takes the decoded params and
+// returns the result. P must be JSON-decodable.
+func HandleFunc[P any, R any](s *Server, method string, fn func(P) (R, error)) {
+	s.Handle(method, func(raw json.RawMessage) (any, error) {
+		var p P
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, &p); err != nil {
+				return nil, fmt.Errorf("rpc: bad params for %s: %w", method, err)
+			}
+		}
+		return fn(p)
+	})
+}
+
+// Listen starts accepting connections on addr and returns the bound
+// address (useful with ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		ln.Close()
+		return "", errors.New("rpc: server closed")
+	}
+	s.listener = ln
+	s.lnMu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.lnMu.Lock()
+		if s.closed {
+			s.lnMu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.lnMu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.lnMu.Lock()
+		delete(s.conns, conn)
+		s.lnMu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	var writeMu sync.Mutex
+	for {
+		var req Request
+		if err := readFrame(r, &req); err != nil {
+			return
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[req.Method]
+		s.mu.RUnlock()
+		go func(req Request) {
+			resp := Response{ID: req.ID}
+			if !ok {
+				resp.Error = "rpc: unknown method " + req.Method
+			} else if result, err := h(req.Params); err != nil {
+				resp.Error = err.Error()
+			} else if result != nil {
+				payload, err := json.Marshal(result)
+				if err != nil {
+					resp.Error = "rpc: encoding result: " + err.Error()
+				} else {
+					resp.Result = payload
+				}
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			_ = writeFrame(conn, resp)
+		}(req)
+	}
+}
+
+// Close stops the listener and all connections, waiting for in-flight
+// handlers to finish.
+func (s *Server) Close() error {
+	s.lnMu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.lnMu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Client is a pipelined RPC client over one TCP connection. Safe for
+// concurrent use.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	nextID  uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan Response
+	err     error
+	done    chan struct{}
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout connects with a dial timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, pending: make(map[uint64]chan Response), done: make(chan struct{})}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	r := bufio.NewReader(c.conn)
+	for {
+		var resp Response
+		if err := readFrame(r, &resp); err != nil {
+			c.fail(fmt.Errorf("rpc: connection lost: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// fail aborts every pending call with err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	close(c.done)
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- Response{Error: err.Error()}
+	}
+}
+
+// Call invokes method with params and decodes the result into result (which
+// may be nil to discard it). It blocks until the response arrives or the
+// connection fails.
+func (c *Client) Call(method string, params any, result any) error {
+	var raw json.RawMessage
+	if params != nil {
+		payload, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("rpc: encoding params: %w", err)
+		}
+		raw = payload
+	}
+	ch := make(chan Response, 1)
+
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, Request{ID: id, Method: method, Params: raw})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+
+	resp := <-ch
+	if resp.Error != "" {
+		return errors.New(resp.Error)
+	}
+	if result != nil && len(resp.Result) > 0 {
+		return json.Unmarshal(resp.Result, result)
+	}
+	return nil
+}
+
+// Close tears the connection down, failing pending calls.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(errors.New("rpc: client closed"))
+	return err
+}

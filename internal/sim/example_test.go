@@ -1,0 +1,45 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"powerchief/internal/sim"
+)
+
+// Example shows the engine's core loop: schedule, cancel, run.
+func Example() {
+	eng := sim.NewEngine()
+	eng.Schedule(2*time.Second, func() {
+		fmt.Println("second event at", eng.Now())
+	})
+	first := eng.Schedule(time.Second, func() {
+		fmt.Println("first event at", eng.Now())
+	})
+	doomed := eng.Schedule(3*time.Second, func() {
+		fmt.Println("never printed")
+	})
+	eng.Cancel(doomed)
+	eng.Reschedule(first, 500*time.Millisecond)
+	eng.Run()
+	fmt.Println("clock stopped at", eng.Now())
+	// Output:
+	// first event at 500ms
+	// second event at 2s
+	// clock stopped at 2s
+}
+
+// ExampleEngine_Every shows periodic control intervals — how the Command
+// Center's adjust loop is driven on the simulator.
+func ExampleEngine_Every() {
+	eng := sim.NewEngine()
+	ticks := 0
+	stop := eng.Every(25*time.Second, func() {
+		ticks++
+	})
+	eng.RunUntil(100 * time.Second)
+	stop()
+	fmt.Println("adjust intervals in 100s:", ticks)
+	// Output:
+	// adjust intervals in 100s: 4
+}

@@ -1,0 +1,179 @@
+package stage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/query"
+	"powerchief/internal/sim"
+)
+
+// Chaos property tests: under random interleavings of load and control
+// actions (DVFS, clone, withdraw), the service model must never lose or
+// duplicate a query, never break record time-ordering, and never exceed the
+// chip budget.
+
+func TestPropertyNoQueryLostUnderChaos(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		m := cmp.DefaultModel()
+		chip := cmp.NewChip(16, m, 60)
+		sys, err := NewSystem(eng, chip, []Spec{
+			{Name: "A", Kind: Pipeline, Profile: cmp.NewRooflineProfile(0.2), Instances: 2, Level: cmp.MidLevel},
+			{Name: "B", Kind: Pipeline, Profile: cmp.NewRooflineProfile(0.3), Instances: 1, Level: cmp.MidLevel},
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		completions := make(map[query.ID]int)
+		sys.OnComplete(func(q *query.Query) { completions[q.ID]++ })
+
+		// Load: 200 queries over 100 virtual seconds.
+		const n = 200
+		for i := 0; i < n; i++ {
+			at := time.Duration(rng.Int63n(int64(100 * time.Second)))
+			qid := query.ID(i)
+			work := [][]time.Duration{
+				{time.Duration(rng.Intn(400)+10) * time.Millisecond},
+				{time.Duration(rng.Intn(300)+10) * time.Millisecond},
+			}
+			eng.ScheduleAt(at, func() { sys.Submit(query.New(qid, at, work)) })
+		}
+		// Chaos: 60 random control actions spread over the run.
+		for i := 0; i < 60; i++ {
+			at := time.Duration(rng.Int63n(int64(100 * time.Second)))
+			action := rng.Intn(3)
+			eng.ScheduleAt(at, func() {
+				stages := sys.Stages()
+				st := stages[rng.Intn(len(stages))]
+				active := st.Active()
+				if len(active) == 0 {
+					return
+				}
+				in := active[rng.Intn(len(active))]
+				switch action {
+				case 0:
+					_ = in.SetLevel(cmp.Level(rng.Intn(cmp.NumLevels)))
+				case 1:
+					_, _ = st.Clone(in)
+				case 2:
+					_ = st.Withdraw(in, nil)
+				}
+				if err := chip.CheckInvariant(); err != nil {
+					t.Log(err)
+					panic("budget invariant broken")
+				}
+			})
+		}
+		eng.Run()
+		// Conservation: every query completed exactly once.
+		if sys.Completed() != n || sys.InFlight() != 0 {
+			t.Logf("seed %d: completed=%d inflight=%d", seed, sys.Completed(), sys.InFlight())
+			return false
+		}
+		for id, c := range completions {
+			if c != 1 {
+				t.Logf("seed %d: query %d completed %d times", seed, id, c)
+				return false
+			}
+		}
+		return len(completions) == n && chip.CheckInvariant() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRecordsWellFormed: every completed query's records respect
+// time-ordering within and across stages (QueueEnter of stage k+1 is never
+// before ServeEnd of stage k).
+func TestPropertyRecordsWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		chip := cmp.NewChip(16, cmp.DefaultModel(), 100)
+		sys, err := NewSystem(eng, chip, []Spec{
+			{Name: "A", Kind: Pipeline, Profile: cmp.NewRooflineProfile(0.1), Instances: 1, Level: cmp.MidLevel},
+			{Name: "B", Kind: Pipeline, Profile: cmp.NewRooflineProfile(0.3), Instances: 2, Level: cmp.MidLevel},
+			{Name: "C", Kind: Pipeline, Profile: cmp.NewRooflineProfile(0.5), Instances: 1, Level: cmp.MidLevel},
+		})
+		if err != nil {
+			return false
+		}
+		ok := true
+		sys.OnComplete(func(q *query.Query) {
+			if len(q.Records) != 3 {
+				ok = false
+				return
+			}
+			var prevEnd time.Duration
+			for _, r := range q.Records {
+				if r.Validate() != nil {
+					ok = false
+				}
+				if r.QueueEnter < prevEnd {
+					ok = false
+				}
+				prevEnd = r.ServeEnd
+			}
+			if q.Done != prevEnd {
+				ok = false
+			}
+		})
+		for i := 0; i < 100; i++ {
+			at := time.Duration(rng.Int63n(int64(50 * time.Second)))
+			qid := query.ID(i)
+			work := [][]time.Duration{
+				{time.Duration(rng.Intn(200)+1) * time.Millisecond},
+				{time.Duration(rng.Intn(200)+1) * time.Millisecond},
+				{time.Duration(rng.Intn(200)+1) * time.Millisecond},
+			}
+			eng.ScheduleAt(at, func() { sys.Submit(query.New(qid, at, work)) })
+		}
+		eng.Run()
+		return ok && sys.Completed() == 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHopDelayInSystem verifies the §8.5 network-delay extension at the
+// stage level: hops add exactly the configured delay between stages.
+func TestHopDelayInSystem(t *testing.T) {
+	eng := sim.NewEngine()
+	chip := cmp.NewChip(16, cmp.DefaultModel(), 100)
+	flatProfile := cmp.NewRooflineProfile(1)
+	sys, err := NewSystem(eng, chip, []Spec{
+		{Name: "A", Kind: Pipeline, Profile: flatProfile, Instances: 1, Level: cmp.MidLevel},
+		{Name: "B", Kind: Pipeline, Profile: flatProfile, Instances: 1, Level: cmp.MidLevel},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetHopDelay(func(from, to int) time.Duration {
+		if from != 0 || to != 1 {
+			t.Errorf("unexpected hop %d→%d", from, to)
+		}
+		return 25 * time.Millisecond
+	})
+	q := query.New(1, time.Second, [][]time.Duration{{100 * time.Millisecond}, {50 * time.Millisecond}})
+	eng.ScheduleAt(time.Second, func() { sys.Submit(q) })
+	eng.Run()
+	if got := q.Latency(); got != 175*time.Millisecond {
+		t.Errorf("latency with one 25ms hop = %v, want 175ms", got)
+	}
+	// Removing the model restores direct hand-off.
+	sys.SetHopDelay(nil)
+	q2 := query.New(2, 10*time.Second, [][]time.Duration{{100 * time.Millisecond}, {50 * time.Millisecond}})
+	eng.ScheduleAt(10*time.Second, func() { sys.Submit(q2) })
+	eng.Run()
+	if got := q2.Latency(); got != 150*time.Millisecond {
+		t.Errorf("latency without hops = %v, want 150ms", got)
+	}
+}

@@ -1,0 +1,76 @@
+package stage
+
+// Dispatcher selects the instance that receives the next query of a pipeline
+// stage. Implementations must be deterministic given the same instance state
+// so simulation runs are reproducible.
+type Dispatcher interface {
+	Pick(active []*Instance) *Instance
+}
+
+// JoinShortestQueue routes each query to the instance with the smallest
+// backlog (queued plus in-service), breaking ties by instance order. This is
+// the default: it is the load-balancing behaviour the paper's instance pool
+// relies on to make new instances share load "in the future form".
+type JoinShortestQueue struct{}
+
+// Pick implements Dispatcher.
+func (JoinShortestQueue) Pick(active []*Instance) *Instance {
+	if len(active) == 0 {
+		panic("stage: dispatch with no active instances")
+	}
+	best := active[0]
+	bestLen := best.QueueLen()
+	for _, in := range active[1:] {
+		if l := in.QueueLen(); l < bestLen {
+			best, bestLen = in, l
+		}
+	}
+	return best
+}
+
+// RoundRobin cycles deterministically through the active instances. The
+// cursor advances over the stage's live membership, so instances launched or
+// withdrawn mid-run are picked up naturally.
+type RoundRobin struct {
+	next int
+}
+
+// Pick implements Dispatcher.
+func (r *RoundRobin) Pick(active []*Instance) *Instance {
+	if len(active) == 0 {
+		panic("stage: dispatch with no active instances")
+	}
+	in := active[r.next%len(active)]
+	r.next++
+	return in
+}
+
+// LeastExpectedDelay routes to the instance whose estimated wait — backlog
+// scaled by the instance's current speed relative to the stage's slowest
+// level — is smallest. It approximates the paper's observation (§2.2) that
+// queue length alone misleads when instances run at different frequencies: a
+// long queue on a fast core may drain sooner than a short queue on a slow
+// one.
+type LeastExpectedDelay struct{}
+
+// Pick implements Dispatcher.
+func (LeastExpectedDelay) Pick(active []*Instance) *Instance {
+	if len(active) == 0 {
+		panic("stage: dispatch with no active instances")
+	}
+	best := active[0]
+	bestScore := expectedDelayScore(best)
+	for _, in := range active[1:] {
+		if s := expectedDelayScore(in); s < bestScore {
+			best, bestScore = in, s
+		}
+	}
+	return best
+}
+
+// expectedDelayScore estimates relative wait as backlog × execRatio(level):
+// the higher the frequency, the smaller the ratio and the faster the backlog
+// drains.
+func expectedDelayScore(in *Instance) float64 {
+	return float64(in.QueueLen()+1) * in.stage.spec.Profile.ExecRatio(in.level)
+}

@@ -1,0 +1,50 @@
+package stats_test
+
+import (
+	"fmt"
+	"time"
+
+	"powerchief/internal/stats"
+)
+
+// Example shows the moving window behind Equation 1's q̄ and s̄: stale
+// samples fall out of the window as virtual time advances.
+func Example() {
+	w := stats.NewWindow(25 * time.Second)
+	w.Add(1*time.Second, 100*time.Millisecond)
+	w.Add(2*time.Second, 300*time.Millisecond)
+	mean, _ := w.Mean()
+	fmt.Println("mean inside the window:", mean)
+
+	// 30 virtual seconds later both samples are stale.
+	w.Advance(30 * time.Second)
+	_, ok := w.Mean()
+	fmt.Println("samples left after 30s:", w.Len(), "mean available:", ok)
+	// Output:
+	// mean inside the window: 200ms
+	// samples left after 30s: 0 mean available: false
+}
+
+// ExampleHistogram shows the constant-memory latency histogram used for
+// unbounded live runs.
+func ExampleHistogram() {
+	h := stats.NewHistogram(1.1)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	fmt.Println("count:", h.Count())
+	fmt.Println("p50 within 10% of 500ms:", within(h.Quantile(0.5), 500*time.Millisecond, 0.10))
+	fmt.Println("p99 within 10% of 990ms:", within(h.Quantile(0.99), 990*time.Millisecond, 0.10))
+	// Output:
+	// count: 1000
+	// p50 within 10% of 500ms: true
+	// p99 within 10% of 990ms: true
+}
+
+func within(got, want time.Duration, tol float64) bool {
+	diff := float64(got - want)
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= tol*float64(want)
+}

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram with constant memory,
+// suitable for unbounded live runs where Summary's keep-every-sample
+// approach would grow without bound. Buckets span 1µs to ~1.2h with a
+// configurable growth factor; quantiles are estimated by linear
+// interpolation inside the matched bucket, giving a relative error bounded
+// by the growth factor.
+type Histogram struct {
+	growth   float64
+	bounds   []time.Duration // upper bounds, ascending
+	counts   []uint64
+	count    uint64
+	sum      time.Duration
+	min      time.Duration
+	max      time.Duration
+	overflow uint64
+}
+
+// NewHistogram creates a histogram whose bucket bounds grow by the given
+// factor (e.g. 1.1 for ≤10% quantile error). Factors must exceed 1.
+func NewHistogram(growth float64) *Histogram {
+	if growth <= 1 {
+		panic("stats: histogram growth factor must exceed 1")
+	}
+	h := &Histogram{growth: growth, min: math.MaxInt64}
+	bound := float64(time.Microsecond)
+	const maxBound = float64(80 * time.Minute)
+	for bound < maxBound {
+		h.bounds = append(h.bounds, time.Duration(bound))
+		bound *= growth
+	}
+	h.counts = make([]uint64, len(h.bounds))
+	return h
+}
+
+// Observe records one latency value. Negative values clamp to zero.
+func (h *Histogram) Observe(v time.Duration) {
+	if v < 0 {
+		v = 0
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	idx := h.bucketOf(v)
+	if idx < 0 {
+		h.overflow++
+		return
+	}
+	h.counts[idx]++
+}
+
+// bucketOf returns the index of the first bucket whose bound is ≥ v, or -1
+// when v exceeds every bound.
+func (h *Histogram) bucketOf(v time.Duration) int {
+	lo, hi := 0, len(h.bounds)-1
+	if v > h.bounds[hi] {
+		return -1
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] >= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the exact mean (tracked outside the buckets).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *Histogram) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (h *Histogram) Max() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile estimates the p-quantile (p in [0,1]). Values that landed beyond
+// the last bucket report the exact tracked maximum.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.Min()
+	}
+	if p >= 1 {
+		return h.Max()
+	}
+	target := uint64(math.Ceil(p * float64(h.count)))
+	if target > h.count-h.overflow {
+		return h.max
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			// Interpolate inside bucket i.
+			lower := time.Duration(0)
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			if upper > h.max {
+				upper = h.max
+			}
+			if lower < h.min {
+				lower = h.min
+			}
+			if upper < lower {
+				return lower
+			}
+			frac := float64(target-cum) / float64(c)
+			return lower + time.Duration(frac*float64(upper-lower))
+		}
+		cum += c
+	}
+	return h.max
+}
+
+// Merge folds another histogram into this one. Both must share the same
+// growth factor.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if other.growth != h.growth || len(other.counts) != len(h.counts) {
+		return fmt.Errorf("stats: merging histograms with different shapes")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	h.overflow += other.overflow
+	if other.count > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+	return nil
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean().Round(time.Microsecond),
+		h.Quantile(0.5).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1.1)
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram not all-zero")
+	}
+}
+
+func TestHistogramExactStats(t *testing.T) {
+	h := NewHistogram(1.1)
+	for _, v := range []time.Duration{10, 20, 30, 40} {
+		h.Observe(v * time.Millisecond)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 25*time.Millisecond {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 40*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if !strings.Contains(h.String(), "n=4") {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram(1.05)
+	s := NewSummary()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50000; i++ {
+		v := time.Duration(math.Exp(rng.NormFloat64()*0.6) * float64(100*time.Millisecond))
+		h.Observe(v)
+		s.Observe(v)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(p).Seconds()
+		want := s.Percentile(p).Seconds()
+		if math.Abs(got-want)/want > 0.06 {
+			t.Errorf("Q(%v) = %.4fs, exact %.4fs (>6%% error)", p, got, want)
+		}
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram(1.1)
+	h.Observe(-5 * time.Second) // clamps to zero
+	h.Observe(0)
+	h.Observe(10 * time.Hour) // beyond the last bucket: overflow
+	if h.Count() != 3 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Max() != 10*time.Hour {
+		t.Errorf("Max = %v", h.Max())
+	}
+	// The overflow observation reports the exact max at high quantiles.
+	if h.Quantile(0.999) != 10*time.Hour {
+		t.Errorf("Q(0.999) = %v", h.Quantile(0.999))
+	}
+	if h.Quantile(0) != 0 {
+		t.Errorf("Q(0) = %v", h.Quantile(0))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(1.1), NewHistogram(1.1)
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 200 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	med := a.Quantile(0.5)
+	if med < 90*time.Millisecond || med > 110*time.Millisecond {
+		t.Errorf("merged median = %v, want ≈100ms", med)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Error("nil merge errored")
+	}
+	c := NewHistogram(1.5)
+	if err := a.Merge(c); err == nil {
+		t.Error("shape-mismatched merge accepted")
+	}
+}
+
+func TestNewHistogramValidates(t *testing.T) {
+	for _, bad := range []float64{1.0, 0.9, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("growth %v accepted", bad)
+				}
+			}()
+			NewHistogram(bad)
+		}()
+	}
+}
+
+// Property: quantiles are monotone in p and bounded by Min/Max.
+func TestPropertyHistogramQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram(1.2)
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			h.Observe(time.Duration(rng.Int63n(int64(10 * time.Second))))
+		}
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			q := h.Quantile(p)
+			if q < prev || q < h.Min() || q > h.Max() {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

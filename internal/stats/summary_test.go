@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	s := NewSummary()
+	if s.Count() != 0 || s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 {
+		t.Fatal("empty summary not all-zero")
+	}
+	for _, v := range []time.Duration{30, 10, 20} {
+		s.Observe(v * time.Millisecond)
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.Mean() != 20*time.Millisecond {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 10*time.Millisecond || s.Max() != 30*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 60*time.Millisecond {
+		t.Errorf("Sum = %v", s.Sum())
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestSummaryPercentileInterpolation(t *testing.T) {
+	s := NewSummary()
+	s.Observe(0)
+	s.Observe(100 * time.Millisecond)
+	if got := s.Percentile(0.5); got != 50*time.Millisecond {
+		t.Errorf("P50 of {0,100ms} = %v, want 50ms", got)
+	}
+	if got := s.Percentile(0); got != 0 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := s.Percentile(1); got != 100*time.Millisecond {
+		t.Errorf("P100 = %v", got)
+	}
+}
+
+func TestSummaryP99OnUniform(t *testing.T) {
+	s := NewSummary()
+	for i := 1; i <= 1000; i++ {
+		s.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p99 := s.P99()
+	if p99 < 989*time.Millisecond || p99 > 991*time.Millisecond {
+		t.Errorf("P99 of 1..1000ms = %v, want ≈990ms", p99)
+	}
+	if s.P50() != 500500*time.Microsecond {
+		t.Errorf("P50 = %v, want 500.5ms", s.P50())
+	}
+}
+
+func TestSummaryInterleavedObserveAndQuery(t *testing.T) {
+	// Percentile sorts internally; further observations must still work.
+	s := NewSummary()
+	s.Observe(5 * time.Millisecond)
+	_ = s.P50()
+	s.Observe(1 * time.Millisecond)
+	if got := s.Min(); got != 1*time.Millisecond {
+		t.Errorf("Min after interleaved observe = %v", got)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(10*time.Second, time.Second); got != 10 {
+		t.Errorf("Improvement = %v, want 10", got)
+	}
+	if got := Improvement(0, 0); got != 1 {
+		t.Errorf("Improvement(0,0) = %v, want 1", got)
+	}
+	if got := Improvement(time.Second, 0); !math.IsInf(got, 1) {
+		t.Errorf("Improvement(1s,0) = %v, want +Inf", got)
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by Min/Max.
+func TestPropertySummaryPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSummary()
+		n := 1 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			s.Observe(time.Duration(rng.Intn(1_000_000)) * time.Microsecond)
+		}
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the summary mean equals the naive mean.
+func TestPropertySummaryMeanExact(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSummary()
+		var vals []time.Duration
+		for _, r := range raw {
+			v := time.Duration(r % 1_000_000)
+			s.Observe(v)
+			vals = append(vals, v)
+		}
+		var sum time.Duration
+		for _, v := range vals {
+			sum += v
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		return s.Mean() == sum/time.Duration(len(vals)) && s.Min() == vals[0] && s.Max() == vals[len(vals)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesAddAndMean(t *testing.T) {
+	var s Series
+	s.Add(time.Second, 1)
+	s.Add(2*time.Second, 3)
+	if got := s.Mean(); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := s.Last(-1); got != 3 {
+		t.Errorf("Last = %v, want 3", got)
+	}
+	var empty Series
+	if got := empty.Last(-1); got != -1 {
+		t.Errorf("empty Last = %v, want default", got)
+	}
+	if got := empty.Mean(); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+}
+
+func TestSeriesRejectsTimeTravel(t *testing.T) {
+	var s Series
+	s.Add(2*time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decreasing timestamp did not panic")
+		}
+	}()
+	s.Add(time.Second, 2)
+}
+
+func TestTimeSeriesRecordAndNames(t *testing.T) {
+	ts := NewTimeSeries()
+	ts.Record("b", time.Second, 1)
+	ts.Record("a", time.Second, 2)
+	ts.Record("b", 2*time.Second, 3)
+	names := ts.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("Names = %v, want [b a] (first-recorded order)", names)
+	}
+	if ts.Get("b").Points[1].Value != 3 {
+		t.Error("second point of series b lost")
+	}
+	if ts.Get("missing") != nil {
+		t.Error("Get of unknown series returned non-nil")
+	}
+}
+
+func TestTimeSeriesWriteCSV(t *testing.T) {
+	ts := NewTimeSeries()
+	ts.Record("power", 0, 10)
+	ts.Record("latency", time.Second, 0.5)
+	ts.Record("power", 2*time.Second, 12)
+	var sb strings.Builder
+	if err := ts.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "time_s,power,latency" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4 (header + 3 stamps):\n%s", len(lines), sb.String())
+	}
+	// Row at t=1: power holds its previous value (step interpolation).
+	if lines[2] != "1.000,10,0.5" {
+		t.Errorf("t=1 row = %q, want step-held power", lines[2])
+	}
+	// Row at t=0: latency has no value yet.
+	if lines[1] != "0.000,10," {
+		t.Errorf("t=0 row = %q, want empty latency cell", lines[1])
+	}
+	if lines[3] != "2.000,12,0.5" {
+		t.Errorf("t=2 row = %q", lines[3])
+	}
+}
+
+func TestTimeSeriesEmptyCSV(t *testing.T) {
+	ts := NewTimeSeries()
+	var sb strings.Builder
+	if err := ts.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "time_s" {
+		t.Errorf("empty CSV = %q", sb.String())
+	}
+}

@@ -1,0 +1,75 @@
+package stats
+
+import "time"
+
+// BusyTracker accounts for how much of an interval a service instance spent
+// actually processing queries. PowerChief's instance withdraw (§6.2) fires
+// when an instance was busy for less than 20% of the withdraw interval.
+//
+// The tracker is driven by Busy/Idle transitions in virtual time and answers
+// utilization queries over [since, now].
+type BusyTracker struct {
+	busy      bool
+	lastFlip  time.Duration
+	accrued   time.Duration // busy time accumulated before lastFlip
+	epochMark time.Duration // start of the current accounting epoch
+}
+
+// NewBusyTracker returns a tracker that is idle at time 0.
+func NewBusyTracker() *BusyTracker { return &BusyTracker{} }
+
+// SetBusy records a transition to the busy state at virtual time now. A
+// redundant transition is a no-op.
+func (b *BusyTracker) SetBusy(now time.Duration) {
+	if b.busy {
+		return
+	}
+	b.busy = true
+	b.lastFlip = now
+}
+
+// SetIdle records a transition to the idle state at virtual time now.
+func (b *BusyTracker) SetIdle(now time.Duration) {
+	if !b.busy {
+		return
+	}
+	b.busy = false
+	b.accrued += now - b.lastFlip
+	b.lastFlip = now
+}
+
+// Busy reports the current state.
+func (b *BusyTracker) Busy() bool { return b.busy }
+
+// BusySince returns the total busy time accumulated during [b.epochMark, now].
+func (b *BusyTracker) BusySince(now time.Duration) time.Duration {
+	total := b.accrued
+	if b.busy && now > b.lastFlip {
+		total += now - b.lastFlip
+	}
+	return total
+}
+
+// Utilization returns the fraction of the current epoch spent busy, in [0,1].
+// Returns 0 for a zero-length epoch.
+func (b *BusyTracker) Utilization(now time.Duration) float64 {
+	span := now - b.epochMark
+	if span <= 0 {
+		return 0
+	}
+	u := float64(b.BusySince(now)) / float64(span)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// ResetEpoch starts a new accounting epoch at virtual time now, e.g. at each
+// withdraw interval boundary. Busy state carries across the boundary.
+func (b *BusyTracker) ResetEpoch(now time.Duration) {
+	b.accrued = 0
+	b.epochMark = now
+	if b.busy {
+		b.lastFlip = now
+	}
+}

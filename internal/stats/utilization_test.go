@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBusyTrackerBasic(t *testing.T) {
+	b := NewBusyTracker()
+	if b.Busy() {
+		t.Fatal("new tracker reports busy")
+	}
+	b.SetBusy(10 * time.Second)
+	b.SetIdle(30 * time.Second)
+	if got := b.BusySince(40 * time.Second); got != 20*time.Second {
+		t.Errorf("BusySince = %v, want 20s", got)
+	}
+	// 20s busy over a 40s epoch = 50%.
+	if u := b.Utilization(40 * time.Second); math.Abs(u-0.5) > 1e-12 {
+		t.Errorf("Utilization = %v, want 0.5", u)
+	}
+}
+
+func TestBusyTrackerOpenInterval(t *testing.T) {
+	b := NewBusyTracker()
+	b.SetBusy(5 * time.Second)
+	// Still busy: the open interval counts up to now.
+	if got := b.BusySince(15 * time.Second); got != 10*time.Second {
+		t.Errorf("open-interval BusySince = %v, want 10s", got)
+	}
+	if !b.Busy() {
+		t.Error("tracker lost busy state")
+	}
+}
+
+func TestBusyTrackerRedundantTransitions(t *testing.T) {
+	b := NewBusyTracker()
+	b.SetBusy(1 * time.Second)
+	b.SetBusy(2 * time.Second) // ignored
+	b.SetIdle(3 * time.Second)
+	b.SetIdle(4 * time.Second) // ignored
+	if got := b.BusySince(10 * time.Second); got != 2*time.Second {
+		t.Errorf("BusySince = %v, want 2s (from first busy mark)", got)
+	}
+}
+
+func TestBusyTrackerEpochReset(t *testing.T) {
+	b := NewBusyTracker()
+	b.SetBusy(0)
+	b.SetIdle(50 * time.Second)
+	b.ResetEpoch(100 * time.Second)
+	if got := b.BusySince(150 * time.Second); got != 0 {
+		t.Errorf("BusySince after epoch reset = %v, want 0", got)
+	}
+	// Busy state carries across a reset.
+	b.SetBusy(150 * time.Second)
+	b.ResetEpoch(200 * time.Second)
+	if u := b.Utilization(250 * time.Second); math.Abs(u-1.0) > 1e-12 {
+		t.Errorf("Utilization of carried busy state = %v, want 1", u)
+	}
+}
+
+func TestBusyTrackerZeroSpan(t *testing.T) {
+	b := NewBusyTracker()
+	if u := b.Utilization(0); u != 0 {
+		t.Errorf("zero-span utilization = %v", u)
+	}
+}
+
+func TestBusyTrackerWithdrawThresholdScenario(t *testing.T) {
+	// The paper's withdraw rule: busy < 20% of a 150s interval.
+	b := NewBusyTracker()
+	b.ResetEpoch(0)
+	b.SetBusy(10 * time.Second)
+	b.SetIdle(35 * time.Second) // 25s busy in a 150s epoch ≈ 16.7%
+	u := b.Utilization(150 * time.Second)
+	if u >= 0.2 {
+		t.Errorf("utilization %v should fall below the 20%% withdraw threshold", u)
+	}
+	b.ResetEpoch(150 * time.Second)
+	b.SetBusy(150 * time.Second)
+	b.SetIdle(190 * time.Second) // 40s busy in 150s ≈ 26.7%
+	u = b.Utilization(300 * time.Second)
+	if u < 0.2 {
+		t.Errorf("utilization %v should stay above the 20%% withdraw threshold", u)
+	}
+}

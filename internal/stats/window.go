@@ -1,0 +1,139 @@
+// Package stats provides the latency-statistics machinery of the Command
+// Center: moving time windows over per-instance queuing/serving samples
+// (§4.2 of the paper uses a moving window to evaluate the latency metric),
+// streaming summaries with exact percentiles, utilization accounting, and
+// time-series recorders for the runtime-behaviour figures.
+package stats
+
+import (
+	"sort"
+	"time"
+)
+
+// Sample is one observation tagged with the virtual time it was recorded.
+type Sample struct {
+	At    time.Duration
+	Value time.Duration
+}
+
+// Window keeps samples from a sliding interval of virtual time. PowerChief
+// evaluates its latency metric over such a window so that stale history does
+// not hide the current load (§4.2).
+//
+// Samples must be added with nondecreasing timestamps; the window evicts
+// samples older than the span on every access.
+type Window struct {
+	span    time.Duration
+	samples []Sample
+	sum     time.Duration
+	last    time.Duration
+}
+
+// NewWindow creates a moving window over the given span of virtual time.
+func NewWindow(span time.Duration) *Window {
+	if span <= 0 {
+		panic("stats: window span must be positive")
+	}
+	return &Window{span: span}
+}
+
+// Span returns the window length.
+func (w *Window) Span() time.Duration { return w.span }
+
+// Add records a sample at virtual time at. Timestamps must not decrease.
+func (w *Window) Add(at, value time.Duration) {
+	if at < w.last {
+		panic("stats: window samples must have nondecreasing timestamps")
+	}
+	w.last = at
+	w.samples = append(w.samples, Sample{At: at, Value: value})
+	w.sum += value
+	w.evict(at)
+}
+
+// evict drops samples older than the span relative to now.
+func (w *Window) evict(now time.Duration) {
+	cutoff := now - w.span
+	i := 0
+	for i < len(w.samples) && w.samples[i].At < cutoff {
+		w.sum -= w.samples[i].Value
+		i++
+	}
+	if i > 0 {
+		// Shift in place; windows are short-lived relative to run length so
+		// reslicing without copying would pin memory.
+		n := copy(w.samples, w.samples[i:])
+		w.samples = w.samples[:n]
+	}
+}
+
+// Advance evicts samples that have fallen out of the window as of now,
+// without adding a new one.
+func (w *Window) Advance(now time.Duration) {
+	if now < w.last {
+		panic("stats: window time must not go backwards")
+	}
+	w.last = now
+	w.evict(now)
+}
+
+// Len returns the number of samples currently inside the window.
+func (w *Window) Len() int { return len(w.samples) }
+
+// Mean returns the average of the samples in the window, and false when the
+// window is empty.
+func (w *Window) Mean() (time.Duration, bool) {
+	if len(w.samples) == 0 {
+		return 0, false
+	}
+	return w.sum / time.Duration(len(w.samples)), true
+}
+
+// MeanOr returns the window mean, or def when the window is empty.
+func (w *Window) MeanOr(def time.Duration) time.Duration {
+	if m, ok := w.Mean(); ok {
+		return m
+	}
+	return def
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of the samples in the
+// window using nearest-rank on a sorted copy, and false when empty.
+func (w *Window) Percentile(p float64) (time.Duration, bool) {
+	if len(w.samples) == 0 {
+		return 0, false
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	vals := make([]time.Duration, len(w.samples))
+	for i, s := range w.samples {
+		vals[i] = s.Value
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	idx := int(p*float64(len(vals)-1) + 0.5)
+	return vals[idx], true
+}
+
+// Max returns the largest sample in the window, and false when empty.
+func (w *Window) Max() (time.Duration, bool) {
+	if len(w.samples) == 0 {
+		return 0, false
+	}
+	max := w.samples[0].Value
+	for _, s := range w.samples[1:] {
+		if s.Value > max {
+			max = s.Value
+		}
+	}
+	return max, true
+}
+
+// Reset discards all samples but keeps the span and time floor.
+func (w *Window) Reset() {
+	w.samples = w.samples[:0]
+	w.sum = 0
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"powerchief/internal/query"
+	"powerchief/internal/sim"
+	"powerchief/internal/stage"
+)
+
+// Diurnal models the day-scale load cycle of user-facing services: a
+// sinusoid between Base and Peak with the given period, optionally phase
+// shifted. The paper's production-deployment future work needs exactly this
+// shape for long-horizon studies.
+type Diurnal struct {
+	Base   float64       // trough rate (qps)
+	Peak   float64       // crest rate (qps)
+	Period time.Duration // full cycle length
+	Phase  time.Duration // shift of the crest
+}
+
+// NewDiurnal validates and returns the source.
+func NewDiurnal(base, peak float64, period time.Duration) (*Diurnal, error) {
+	if base < 0 || peak < base {
+		return nil, fmt.Errorf("workload: diurnal needs 0 ≤ base ≤ peak")
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("workload: diurnal needs a positive period")
+	}
+	return &Diurnal{Base: base, Peak: peak, Period: period}, nil
+}
+
+// RateAt implements Source.
+func (d *Diurnal) RateAt(t time.Duration) float64 {
+	mid := (d.Base + d.Peak) / 2
+	amp := (d.Peak - d.Base) / 2
+	angle := 2 * math.Pi * float64(t+d.Phase) / float64(d.Period)
+	return mid + amp*math.Sin(angle)
+}
+
+// MaxRate implements Source.
+func (d *Diurnal) MaxRate() float64 { return d.Peak }
+
+// Replay drives arrivals at exact recorded timestamps — for replaying
+// production traces instead of synthetic Poisson load. Timestamps are
+// virtual offsets from the start of the run.
+type Replay struct {
+	arrivals []time.Duration
+}
+
+// NewReplay copies and sorts the arrival offsets.
+func NewReplay(arrivals []time.Duration) (*Replay, error) {
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("workload: replay needs at least one arrival")
+	}
+	out := make([]time.Duration, len(arrivals))
+	copy(out, arrivals)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if out[0] < 0 {
+		return nil, fmt.Errorf("workload: negative arrival offset")
+	}
+	return &Replay{arrivals: out}, nil
+}
+
+// ParseReplay reads one arrival offset per line (Go duration syntax like
+// "1.5s" or plain seconds like "1.5"), ignoring blank lines and lines
+// starting with '#'.
+func ParseReplay(r io.Reader) (*Replay, error) {
+	var arrivals []time.Duration
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if d, err := time.ParseDuration(text); err == nil {
+			arrivals = append(arrivals, d)
+			continue
+		}
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %q is neither a duration nor seconds", line, text)
+		}
+		arrivals = append(arrivals, time.Duration(f*float64(time.Second)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewReplay(arrivals)
+}
+
+// Len returns the number of recorded arrivals.
+func (r *Replay) Len() int { return len(r.arrivals) }
+
+// Horizon returns the last arrival offset.
+func (r *Replay) Horizon() time.Duration { return r.arrivals[len(r.arrivals)-1] }
+
+// Schedule injects the recorded arrivals into the system, drawing each
+// query's demands with the supplied drawer. Returns the number scheduled.
+func (r *Replay) Schedule(eng *sim.Engine, sys *stage.System, draw WorkDrawer, rng *rand.Rand) int {
+	for i, at := range r.arrivals {
+		qid := query.ID(i + 1)
+		at := at
+		eng.ScheduleAt(at, func() {
+			sys.Submit(query.New(qid, at, draw(rng)))
+		})
+	}
+	return len(r.arrivals)
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"powerchief/internal/query"
+)
+
+func TestDiurnalShape(t *testing.T) {
+	d, err := NewDiurnal(1, 5, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxRate() != 5 {
+		t.Errorf("MaxRate = %v", d.MaxRate())
+	}
+	// Midpoint at t=0, crest a quarter period in, trough at three quarters.
+	if r := d.RateAt(0); math.Abs(r-3) > 1e-9 {
+		t.Errorf("RateAt(0) = %v, want 3", r)
+	}
+	if r := d.RateAt(6 * time.Hour); math.Abs(r-5) > 1e-9 {
+		t.Errorf("RateAt(T/4) = %v, want 5", r)
+	}
+	if r := d.RateAt(18 * time.Hour); math.Abs(r-1) > 1e-9 {
+		t.Errorf("RateAt(3T/4) = %v, want 1", r)
+	}
+	// Rates never leave [base, peak].
+	for h := 0; h < 48; h++ {
+		r := d.RateAt(time.Duration(h) * time.Hour)
+		if r < 1-1e-9 || r > 5+1e-9 {
+			t.Fatalf("RateAt(%dh) = %v outside [1,5]", h, r)
+		}
+	}
+}
+
+func TestNewDiurnalValidates(t *testing.T) {
+	if _, err := NewDiurnal(5, 1, time.Hour); err == nil {
+		t.Error("peak below base accepted")
+	}
+	if _, err := NewDiurnal(-1, 1, time.Hour); err == nil {
+		t.Error("negative base accepted")
+	}
+	if _, err := NewDiurnal(1, 2, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestDiurnalDrivesGenerator(t *testing.T) {
+	eng, sys, a := buildSystem(t)
+	d, err := NewDiurnal(0.5, 4, 400*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	gen := NewGenerator(eng, sys, d, func(r *rand.Rand) [][]time.Duration {
+		return a.DrawWork(r, []int{1, 1, 1})
+	}, rng, 400*time.Second)
+	gen.Start()
+	eng.RunUntil(400 * time.Second)
+	// Mean rate = 2.25 qps over a full cycle → ≈900 arrivals.
+	got := float64(gen.Issued())
+	if got < 700 || got > 1100 {
+		t.Errorf("diurnal issued %v queries over one cycle, want ≈900", got)
+	}
+}
+
+func TestReplayOrderingAndAccessors(t *testing.T) {
+	r, err := NewReplay([]time.Duration{3 * time.Second, time.Second, 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 || r.Horizon() != 3*time.Second {
+		t.Errorf("Len=%d Horizon=%v", r.Len(), r.Horizon())
+	}
+	if _, err := NewReplay(nil); err == nil {
+		t.Error("empty replay accepted")
+	}
+	if _, err := NewReplay([]time.Duration{-time.Second}); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestParseReplayFormats(t *testing.T) {
+	input := `
+# production trace, offsets from start
+0.5
+1s
+1.5
+2500ms
+`
+	r, err := ParseReplay(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Horizon() != 2500*time.Millisecond {
+		t.Errorf("Horizon = %v", r.Horizon())
+	}
+	if _, err := ParseReplay(strings.NewReader("garbage line")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReplaySchedulesExactArrivals(t *testing.T) {
+	eng, sys, a := buildSystem(t)
+	r, err := NewReplay([]time.Duration{
+		time.Second, 2 * time.Second, 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []time.Duration
+	sys.OnComplete(func(q *query.Query) { arrivals = append(arrivals, q.Arrival) })
+	rng := rand.New(rand.NewSource(1))
+	n := r.Schedule(eng, sys, func(rg *rand.Rand) [][]time.Duration {
+		return a.DrawWork(rg, []int{1, 1, 1})
+	}, rng)
+	if n != 3 {
+		t.Fatalf("scheduled %d", n)
+	}
+	eng.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("completed %d", len(arrivals))
+	}
+	want := []time.Duration{time.Second, 2 * time.Second, 5 * time.Second}
+	for i, at := range arrivals {
+		if at != want[i] {
+			t.Errorf("arrival %d at %v, want %v", i, at, want[i])
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package powerchief
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFacadeQuickScenario(t *testing.T) {
+	res, err := Run(Scenario{
+		Name:     "facade-smoke",
+		App:      Sirius(),
+		Level:    MidLevel,
+		Budget:   13.56,
+		Policy:   PowerChiefPolicy(),
+		Source:   ConstantLoad(MediumLoad),
+		Duration: 200 * time.Second,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no queries completed")
+	}
+	var sb strings.Builder
+	if err := WriteResult(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "powerchief") {
+		t.Errorf("summary line = %q", sb.String())
+	}
+}
+
+func TestFacadeAppsAndPolicies(t *testing.T) {
+	for _, name := range []string{"sirius", "nlp", "websearch"} {
+		if _, err := AppByName(name); err != nil {
+			t.Errorf("AppByName(%q): %v", name, err)
+		}
+	}
+	for _, name := range []string{"baseline", "freq-boost", "inst-boost", "powerchief"} {
+		mk, ok := PolicyByName(name)
+		if !ok {
+			t.Errorf("PolicyByName(%q) missing", name)
+			continue
+		}
+		if got := mk().Name(); got != name {
+			t.Errorf("policy %q reports name %q", name, got)
+		}
+	}
+	if _, ok := PolicyByName("nope"); ok {
+		t.Error("unknown policy resolved")
+	}
+	for _, name := range []string{"pegasus", "saver"} {
+		if _, ok := PolicyByNameQoS(name, time.Second); !ok {
+			t.Errorf("PolicyByNameQoS(%q) missing", name)
+		}
+	}
+	if _, ok := PolicyByNameQoS("nope", time.Second); ok {
+		t.Error("unknown QoS policy resolved")
+	}
+}
+
+func TestFacadeLevels(t *testing.T) {
+	if MinLevel.GHz() != 1.2 || MidLevel.GHz() != 1.8 || MaxLevel.GHz() != 2.4 {
+		t.Error("frequency ladder constants wrong")
+	}
+	if !(LowLoad.Utilization() < MediumLoad.Utilization() && MediumLoad.Utilization() < HighLoad.Utilization()) {
+		t.Error("load levels not ordered")
+	}
+}
+
+func TestFacadeImprovement(t *testing.T) {
+	base, err := Run(Scenario{
+		Name: "b", App: NLP(), Level: MidLevel, Budget: 13.56,
+		Source: ConstantLoad(HighLoad), Duration: 300 * time.Second, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := Run(Scenario{
+		Name: "p", App: NLP(), Level: MidLevel, Budget: 13.56,
+		Policy: PowerChiefPolicy(),
+		Source: ConstantLoad(HighLoad), Duration: 300 * time.Second, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, p99 := Improvement(base, boosted)
+	if avg < 1 || p99 < 1 {
+		t.Errorf("improvement = %.2f/%.2f, want ≥ 1 under high load", avg, p99)
+	}
+}
