@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race check ci
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-focused pass over the concurrency-heavy packages: the RPC transport,
+# the distributed control plane (including the chaos tests), and the stage
+# engine.
+race:
+	$(GO) test -race ./internal/rpc/... ./internal/dist/... ./internal/stage/...
+
+# The full local gate: what CI runs.
+check: vet build test race
+
+ci: check

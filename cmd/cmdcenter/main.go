@@ -19,6 +19,7 @@ import (
 
 	"powerchief"
 	"powerchief/internal/dist"
+	"powerchief/internal/rpc"
 )
 
 func main() {
@@ -33,6 +34,15 @@ func main() {
 		interval  = flag.Duration("interval", 5*time.Second, "control interval (wall clock)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		timeScale = flag.Float64("timescale", 1, "stage-service time scale; scales demands sent")
+
+		// Fault tolerance.
+		callTimeout   = flag.Duration("calltimeout", 3*time.Second, "deadline for control-plane RPCs (stats, DVFS, clone, probes)")
+		submitTimeout = flag.Duration("submittimeout", 60*time.Second, "deadline for each per-stage query dispatch")
+		retries       = flag.Int("retries", 2, "max retries of idempotent RPCs on transient failures")
+		retryBackoff  = flag.Duration("retrybackoff", 25*time.Millisecond, "base backoff between retries (exponential, jittered)")
+		probeInterval = flag.Duration("probe", 500*time.Millisecond, "health-probe cadence for suspect/down stages")
+		suspectAfter  = flag.Int("suspectafter", 2, "consecutive failures before a stage is quarantined")
+		degraded      = flag.Bool("degraded", false, "serve queries from surviving stages when a stage is quarantined (skip it) instead of failing submits fast")
 	)
 	flag.Parse()
 	if *stages == "" {
@@ -54,7 +64,14 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
-	center, err := dist.NewCenter(powerchief.Watts(*budget), 4**interval, addrs)
+	center, err := dist.NewCenterOptions(powerchief.Watts(*budget), 4**interval, addrs, dist.CenterOptions{
+		CallTimeout:    *callTimeout,
+		SubmitTimeout:  *submitTimeout,
+		Retry:          rpc.RetryPolicy{Max: *retries, BaseBackoff: *retryBackoff},
+		ProbeInterval:  *probeInterval,
+		SuspectAfter:   *suspectAfter,
+		DegradedSubmit: *degraded,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -83,6 +100,11 @@ func main() {
 				if out.Kind.String() != "none" {
 					fmt.Printf("[ctl] %s on %s → level %v / clone %s\n",
 						out.Kind, out.Target, out.NewLevel, out.NewInstance)
+				}
+				for _, h := range center.Healths() {
+					if h.State != dist.Healthy {
+						fmt.Printf("[health] stage %s is %s (%v)\n", h.Name, h.State, h.Err)
+					}
 				}
 			}
 		}

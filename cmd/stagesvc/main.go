@@ -6,6 +6,13 @@
 //	stagesvc -name QA  -membound 0.25 -instances 2 -level mid -addr :7103
 //
 // Pass -timescale 0.01 to compress simulated work 100× for demos.
+//
+// Fault injection for chaos testing the Command Center's degraded-mode power
+// control: -chaos routes the service through the dist.ChaosProxy harness, so
+// an operator can make a live stage hang (accept-but-never-reply), slow its
+// replies, or refuse connections, then restore it:
+//
+//	stagesvc -name QA -membound 0.25 -addr :7103 -chaos slow -chaosdelay 200ms
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"os/signal"
 	"strconv"
 	"syscall"
+	"time"
 
 	"powerchief/internal/cmp"
 	"powerchief/internal/dist"
@@ -31,6 +39,10 @@ func main() {
 		addr      = flag.String("addr", ":0", "listen address")
 		cores     = flag.Int("cores", 16, "cores available to this stage service")
 		timeScale = flag.Float64("timescale", 1, "virtual-to-wall time scale for simulated work")
+
+		// Fault injection (chaos harness).
+		chaos      = flag.String("chaos", "", "serve through the fault-injection proxy: pass, hang, slow or deny")
+		chaosDelay = flag.Duration("chaosdelay", 100*time.Millisecond, "per-reply delay in -chaos slow mode")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -60,17 +72,55 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	bound, err := svc.Listen(*addr)
-	if err != nil {
-		fatal(err)
+	var proxy *dist.ChaosProxy
+	bound := ""
+	if *chaos != "" {
+		mode, err := parseChaosMode(*chaos)
+		if err != nil {
+			fatal(err)
+		}
+		// The service listens privately; the advertised address is the
+		// chaos proxy in front of it.
+		backend, err := svc.Listen("127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		proxy = dist.NewChaosProxy(backend)
+		proxy.SetMode(mode)
+		proxy.SetDelay(*chaosDelay)
+		if bound, err = proxy.Listen(*addr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stage %s chaos mode %s (delay %v), backend %s\n", *name, mode, *chaosDelay, backend)
+	} else {
+		if bound, err = svc.Listen(*addr); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("stage %s serving on %s (%d instances @ %v)\n", *name, bound, *instances, lvl)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
+	if proxy != nil {
+		proxy.Close()
+	}
 	svc.Close()
 	fmt.Printf("stage %s stopped\n", *name)
+}
+
+func parseChaosMode(s string) (dist.ChaosMode, error) {
+	switch s {
+	case "pass":
+		return dist.ChaosPass, nil
+	case "hang":
+		return dist.ChaosHang, nil
+	case "slow":
+		return dist.ChaosSlow, nil
+	case "deny":
+		return dist.ChaosDeny, nil
+	}
+	return 0, fmt.Errorf("unknown -chaos mode %q", s)
 }
 
 func parseLevel(s string) (cmp.Level, error) {

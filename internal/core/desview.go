@@ -30,6 +30,10 @@ func (v *desView) Draw() cmp.Watts            { return v.sys.Chip().Draw() }
 func (v *desView) Headroom() cmp.Watts        { return v.sys.Chip().Headroom() }
 func (v *desView) FreeCores() int             { return v.sys.Chip().Free() }
 
+// Quarantined implements System. The DES has no fault injection at the stage
+// level; nothing is ever quarantined.
+func (v *desView) Quarantined() []StageControl { return nil }
+
 func (v *desView) Stages() []StageControl {
 	stages := v.sys.Stages()
 	out := make([]StageControl, len(stages))

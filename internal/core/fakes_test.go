@@ -111,12 +111,13 @@ func (f *fakeStage) Withdraw(victim, target Instance) error {
 }
 
 type fakeSystem struct {
-	now       time.Duration
-	stages    []*fakeStage
-	model     cmp.PowerModel
-	budget    cmp.Watts
-	draw      cmp.Watts
-	freeCores int
+	now         time.Duration
+	stages      []*fakeStage
+	quarantined []*fakeStage
+	model       cmp.PowerModel
+	budget      cmp.Watts
+	draw        cmp.Watts
+	freeCores   int
 }
 
 func (f *fakeSystem) Now() time.Duration         { return f.now }
@@ -125,6 +126,13 @@ func (f *fakeSystem) Budget() cmp.Watts          { return f.budget }
 func (f *fakeSystem) Draw() cmp.Watts            { return f.draw }
 func (f *fakeSystem) Headroom() cmp.Watts        { return f.budget - f.draw }
 func (f *fakeSystem) FreeCores() int             { return f.freeCores }
+func (f *fakeSystem) Quarantined() []StageControl {
+	out := make([]StageControl, len(f.quarantined))
+	for i, st := range f.quarantined {
+		out[i] = st
+	}
+	return out
+}
 
 func (f *fakeSystem) Stages() []StageControl {
 	out := make([]StageControl, len(f.stages))

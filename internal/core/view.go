@@ -60,17 +60,35 @@ type StageControl interface {
 type System interface {
 	// Now returns the current (virtual or wall) time.
 	Now() time.Duration
-	// Stages returns the pipeline stages in order.
+	// Stages returns the pipeline stages in order. Quarantined stages are
+	// excluded: the policy must never boost, deboost, clone or withdraw an
+	// instance it cannot reach.
 	Stages() []StageControl
+	// Quarantined returns stages currently quarantined by fault handling —
+	// unreachable deployments whose instances are excluded from Stages() and
+	// whose power draw is excluded from Draw() (their watts are reclaimed
+	// into Headroom until re-admission). Engines without fault handling (the
+	// DES and the in-process live cluster) return nil.
+	Quarantined() []StageControl
 	// PowerModel returns the per-core power model.
 	PowerModel() cmp.PowerModel
 	// Budget returns the application's power budget.
 	Budget() cmp.Watts
-	// Draw returns the power currently drawn.
+	// Draw returns the power currently drawn. Quarantined stages draw
+	// nothing: a dead instance's watts must be available to survivors.
 	Draw() cmp.Watts
 	// Headroom returns Budget minus Draw.
 	Headroom() cmp.Watts
 	// FreeCores returns the number of unallocated physical cores.
+	//
+	// Contract note: implementations backed by elastic machine capacity (the
+	// distributed Command Center) report at least 1 whenever Headroom is
+	// positive — even when the headroom cannot fund a whole minimum-power
+	// core — because power recycling (Algorithm 2) can free the remainder
+	// from donors. Only at zero or negative headroom do they report 0. The
+	// quarantine accounting must preserve this: reclaiming a down stage's
+	// watts raises Headroom and therefore FreeCores, and re-admission lowers
+	// them again.
 	FreeCores() int
 }
 

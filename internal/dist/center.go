@@ -15,11 +15,21 @@ import (
 // budget, dispatches queries through the remote stage services in order,
 // folds the returned query-carried records into the aggregator, and drives a
 // control policy against a remote view of the deployment.
+//
+// The center is fault tolerant: every RPC carries a deadline, call outcomes
+// drive a per-stage health state machine (see HealthState), unreachable
+// stages are quarantined — their watts reclaimed into Headroom for the
+// survivors — and a background prober re-admits them once they answer again.
 type Center struct {
 	budget cmp.Watts
 	model  cmp.PowerModel
 	agg    *core.Aggregator
 	start  time.Time
+	opts   CenterOptions
+
+	// adjustMu serializes control-plane mutations (Adjust intervals and
+	// stage re-admission) so budget arithmetic never races itself.
+	adjustMu sync.Mutex
 
 	mu      sync.Mutex
 	stages  []*remoteStage
@@ -28,27 +38,47 @@ type Center struct {
 	submitted uint64
 	completed uint64
 	latency   []time.Duration
+
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
+	closed    bool
 }
 
-// NewCenter connects to the stage services at addrs (pipeline order) and
-// interrogates each for its stage description.
+// NewCenter connects to the stage services at addrs (pipeline order) with
+// default fault-tolerance options.
 func NewCenter(budget cmp.Watts, window time.Duration, addrs []string) (*Center, error) {
+	return NewCenterOptions(budget, window, addrs, CenterOptions{})
+}
+
+// NewCenterOptions connects to the stage services at addrs (pipeline order)
+// and interrogates each for its stage description.
+func NewCenterOptions(budget cmp.Watts, window time.Duration, addrs []string, opts CenterOptions) (*Center, error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("dist: center needs a positive power budget")
 	}
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("dist: center needs at least one stage address")
 	}
-	c := &Center{budget: budget, model: cmp.DefaultModel(), start: time.Now()}
+	opts = opts.withDefaults()
+	c := &Center{
+		budget:    budget,
+		model:     cmp.DefaultModel(),
+		start:     time.Now(),
+		opts:      opts,
+		probeStop: make(chan struct{}),
+	}
 	c.agg = core.NewAggregator(window, c.Now)
 	for _, addr := range addrs {
-		client, err := rpc.Dial(addr)
+		client, err := rpc.DialOptions(addr, rpc.ClientOptions{
+			CallTimeout: opts.CallTimeout,
+			Retry:       opts.Retry,
+		})
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("dist: dialing stage %s: %w", addr, err)
 		}
 		var info InfoReply
-		if err := client.Call(MethodInfo, nil, &info); err != nil {
+		if err := client.CallRetry(MethodInfo, nil, &info); err != nil {
 			client.Close()
 			c.Close()
 			return nil, fmt.Errorf("dist: stage %s info: %w", addr, err)
@@ -67,6 +97,10 @@ func NewCenter(budget cmp.Watts, window time.Duration, addrs []string) (*Center,
 		}
 		c.stages = append(c.stages, st)
 	}
+	if opts.ProbeInterval > 0 {
+		c.probeWG.Add(1)
+		go c.probeLoop(opts.ProbeInterval)
+	}
 	return c, nil
 }
 
@@ -79,38 +113,71 @@ func (c *Center) Now() time.Duration { return time.Since(c.start) }
 // Aggregator exposes the center's statistics for inspection.
 func (c *Center) Aggregator() *core.Aggregator { return c.agg }
 
-// Submit dispatches one query through all stages, blocking until the
-// response returns. Work must hold one row per stage.
-func (c *Center) Submit(work [][]time.Duration) (time.Duration, error) {
+// beginQuery performs the per-query admission bookkeeping atomically: shape
+// validation, query-ID assignment and the submitted count all happen under
+// one critical section, together with the stage snapshot the query will be
+// routed through. The returned qid order therefore matches the admission
+// order; RPC issue order downstream is naturally concurrent.
+func (c *Center) beginQuery(work [][]time.Duration) (qid uint64, stages []*remoteStage, err error) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if len(work) != len(c.stages) {
-		c.mu.Unlock()
-		return 0, fmt.Errorf("dist: work for %d stages, pipeline has %d", len(work), len(c.stages))
+		return 0, nil, fmt.Errorf("dist: work for %d stages, pipeline has %d", len(work), len(c.stages))
 	}
 	c.nextQID++
-	qid := c.nextQID
-	stages := make([]*remoteStage, len(c.stages))
-	copy(stages, c.stages)
 	c.submitted++
-	c.mu.Unlock()
+	stages = make([]*remoteStage, len(c.stages))
+	copy(stages, c.stages)
+	return c.nextQID, stages, nil
+}
 
-	arrival := c.Now()
-	q := query.New(query.ID(qid), arrival, work)
-	for i, st := range stages {
-		var reply ProcessReply
-		if err := st.client.Call(MethodProcess, ProcessArgs{QueryID: qid, Work: work[i]}, &reply); err != nil {
-			return 0, fmt.Errorf("dist: stage %s: %w", st.name, err)
-		}
-		for _, rec := range reply.Records {
-			q.Append(rec.toRecord(q.ID))
-		}
-	}
+// finishQuery records a completed query's statistics.
+func (c *Center) finishQuery(q *query.Query) {
 	q.Done = c.Now()
 	c.agg.Ingest(q)
 	c.mu.Lock()
 	c.completed++
 	c.latency = append(c.latency, q.Latency())
 	c.mu.Unlock()
+}
+
+// Submit dispatches one query through all stages, blocking until the
+// response returns. Work must hold one row per stage.
+//
+// Fault handling: a quarantined stage fails the submit fast with an error
+// wrapping ErrStageDown — unless the center runs with DegradedSubmit, in
+// which case the quarantined stage is skipped and the query is served by the
+// survivors. Every per-stage call is bounded by SubmitTimeout, so a hung
+// stage cannot block a submit past its deadline; call outcomes feed the
+// stage health machine.
+func (c *Center) Submit(work [][]time.Duration) (time.Duration, error) {
+	qid, stages, err := c.beginQuery(work)
+	if err != nil {
+		return 0, err
+	}
+
+	arrival := c.Now()
+	q := query.New(query.ID(qid), arrival, work)
+	for i, st := range stages {
+		if st.quarantined() {
+			if c.opts.DegradedSubmit {
+				continue // serve the query from the survivors
+			}
+			return 0, fmt.Errorf("dist: stage %s: %w", st.name, ErrStageDown)
+		}
+		var reply ProcessReply
+		if err := st.client.CallDeadline(MethodProcess, ProcessArgs{QueryID: qid, Work: work[i]}, &reply, c.opts.SubmitTimeout); err != nil {
+			if rpc.IsTransient(err) {
+				st.noteFailure(err)
+			}
+			return 0, fmt.Errorf("dist: stage %s: %w", st.name, err)
+		}
+		st.noteSuccess()
+		for _, rec := range reply.Records {
+			q.Append(rec.toRecord(q.ID))
+		}
+	}
+	c.finishQuery(q)
 	return q.Latency(), nil
 }
 
@@ -132,27 +199,59 @@ func (c *Center) Latencies() []time.Duration {
 
 // Adjust refreshes the remote snapshots and runs one control interval of the
 // policy against the deployment.
+//
+// Fault handling (degraded mode): stages that cannot be refreshed are not
+// fatal — the failure feeds their health machine (repeated failures
+// quarantine them, reclaiming their watts into Headroom), and the policy
+// runs against whatever stages remain reachable, boosting survivors with the
+// freed power. Only when every stage is quarantined does Adjust refuse to
+// run, with ErrNoHealthyStages.
 func (c *Center) Adjust(policy core.Policy) (core.BoostOutcome, error) {
+	c.adjustMu.Lock()
+	defer c.adjustMu.Unlock()
+
 	c.mu.Lock()
 	stages := make([]*remoteStage, len(c.stages))
 	copy(stages, c.stages)
 	c.mu.Unlock()
+
+	healthy := 0
 	for _, st := range stages {
-		if err := st.refresh(); err != nil {
-			return core.BoostOutcome{}, fmt.Errorf("dist: refreshing %s: %w", st.name, err)
+		if st.quarantined() {
+			continue // the prober owns its path back
 		}
+		if err := st.refresh(); err != nil {
+			st.noteFailure(err)
+			if !st.quarantined() {
+				// Still only suspect: keep its last snapshot in the view for
+				// this interval rather than acting on a half-empty pipeline.
+				healthy++
+			}
+			continue
+		}
+		st.noteSuccess()
+		healthy++
+	}
+	if healthy == 0 {
+		return core.BoostOutcome{}, ErrNoHealthyStages
 	}
 	return policy.Adjust(c, c.agg), nil
 }
 
-// Close tears down the stage connections.
+// Close stops the prober and tears down the stage connections. Idempotent.
 func (c *Center) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, st := range c.stages {
+	if !c.closed {
+		c.closed = true
+		close(c.probeStop)
+	}
+	stages := c.stages
+	c.stages = nil
+	c.mu.Unlock()
+	c.probeWG.Wait()
+	for _, st := range stages {
 		st.client.Close()
 	}
-	c.stages = nil
 }
 
 // --- core.System over RPC ---
@@ -163,15 +262,20 @@ func (c *Center) PowerModel() cmp.PowerModel { return c.model }
 // Budget implements core.System.
 func (c *Center) Budget() cmp.Watts { return c.budget }
 
-// Draw implements core.System: computed from the last snapshots.
+// Draw implements core.System: computed from the last snapshots. Quarantined
+// stages draw nothing — a down stage's watts are reclaimed into Headroom so
+// the survivors can be boosted with them.
 func (c *Center) Draw() cmp.Watts {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	stages := make([]*remoteStage, len(c.stages))
+	copy(stages, c.stages)
+	c.mu.Unlock()
 	var sum cmp.Watts
-	for _, st := range c.stages {
-		for _, in := range st.snapshot {
-			sum += c.model.Power(in.level)
+	for _, st := range stages {
+		if st.quarantined() {
+			continue
 		}
+		sum += st.draw(c.model)
 	}
 	return sum
 }
@@ -195,18 +299,39 @@ func (c *Center) FreeCores() int {
 	return n
 }
 
-// Stages implements core.System.
+// Stages implements core.System. Quarantined stages are excluded so the
+// policy — and in particular the power recycler — never actuates an
+// instance the center cannot reach.
 func (c *Center) Stages() []core.StageControl {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]core.StageControl, len(c.stages))
-	for i, st := range c.stages {
-		out[i] = st
+	out := make([]core.StageControl, 0, len(c.stages))
+	for _, st := range c.stages {
+		if st.quarantined() {
+			continue
+		}
+		out = append(out, st)
 	}
 	return out
 }
 
-// remoteStage adapts one stage service to core.StageControl.
+// Quarantined implements core.System: the stages currently excluded from the
+// control view. Their capacity is visible here so callers can account for
+// watts that will return on re-admission.
+func (c *Center) Quarantined() []core.StageControl {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []core.StageControl
+	for _, st := range c.stages {
+		if st.quarantined() {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// remoteStage adapts one stage service to core.StageControl and carries the
+// stage's fault-handling state.
 type remoteStage struct {
 	center   *Center
 	client   *rpc.Client
@@ -216,12 +341,16 @@ type remoteStage struct {
 
 	mu       sync.Mutex
 	snapshot []*remoteInstance
+	health   HealthState
+	fails    int // consecutive failed calls
+	lastErr  error
 }
 
-// refresh pulls a fresh instance snapshot from the service.
+// refresh pulls a fresh instance snapshot from the service. stage.stats is
+// idempotent, so transient failures are retried with backoff.
 func (st *remoteStage) refresh() error {
 	var reply StatsReply
-	if err := st.client.Call(MethodStats, nil, &reply); err != nil {
+	if err := st.client.CallRetry(MethodStats, nil, &reply); err != nil {
 		return err
 	}
 	st.mu.Lock()
@@ -266,8 +395,12 @@ func (st *remoteStage) Clone(bottleneck core.Instance) (core.Instance, error) {
 	}
 	var reply CloneReply
 	if err := st.client.Call(MethodClone, CloneArgs{Instance: src.Name()}, &reply); err != nil {
+		if rpc.IsTransient(err) {
+			st.noteFailure(err)
+		}
 		return nil, err
 	}
+	st.noteSuccess()
 	clone := &remoteInstance{
 		stage: st,
 		stats: InstanceStats{Name: reply.Name, Level: reply.Level, QueueLen: src.stats.QueueLen / 2},
@@ -290,8 +423,12 @@ func (st *remoteStage) Withdraw(victim, target core.Instance) error {
 		args.Target = target.Name()
 	}
 	if err := st.client.Call(MethodWithdraw, args, nil); err != nil {
+		if rpc.IsTransient(err) {
+			st.noteFailure(err)
+		}
 		return err
 	}
+	st.noteSuccess()
 	st.mu.Lock()
 	for i, in := range st.snapshot {
 		if in == v {
@@ -353,8 +490,12 @@ func (in *remoteInstance) SetLevel(l cmp.Level) error {
 		return cmp.ErrBudgetExceeded
 	}
 	if err := in.stage.client.Call(MethodSetLevel, SetLevelArgs{Instance: in.Name(), Level: l}, nil); err != nil {
+		if rpc.IsTransient(err) {
+			in.stage.noteFailure(err)
+		}
 		return err
 	}
+	in.stage.noteSuccess()
 	in.mu.Lock()
 	in.level = l
 	in.mu.Unlock()

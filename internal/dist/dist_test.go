@@ -207,6 +207,85 @@ func TestDistributedPolicyAdjust(t *testing.T) {
 	}
 }
 
+// TestSubmitBookkeepingUnderRace hammers the per-query admission helper from
+// many goroutines while control intervals and probes run concurrently. Run
+// with -race: the point is that query-ID assignment, the submitted/completed
+// counters, and the stage snapshot are one atomic critical section
+// (beginQuery), with no ordering hole between ID assignment and RPC issue.
+func TestSubmitBookkeepingUnderRace(t *testing.T) {
+	center, _ := startPipeline(t, 200)
+	const workers = 16
+	const perWorker = 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := center.Submit([][]time.Duration{
+					{10 * time.Millisecond},
+					{10 * time.Millisecond},
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Control plane churns concurrently with the submitters.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cfg := core.DefaultConfig()
+		cfg.BalanceThreshold = 0
+		for i := 0; i < 10; i++ {
+			center.Adjust(core.NewFreqBoost(cfg))
+			center.ProbeNow()
+			center.Counts()
+			center.Draw()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	sub, comp := center.Counts()
+	if sub != workers*perWorker || comp != workers*perWorker {
+		t.Errorf("counts = %d/%d, want %d/%d", sub, comp, workers*perWorker, workers*perWorker)
+	}
+	if got := len(center.Latencies()); got != workers*perWorker {
+		t.Errorf("latencies = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestFreeCoresContract pins the documented core.System.FreeCores contract
+// of the distributed center: zero (or negative) headroom reports 0, but any
+// positive headroom reports at least 1 — recycling can fund the remainder of
+// a core — so the quarantine accounting must not silently change it.
+func TestFreeCoresContract(t *testing.T) {
+	m := cmp.DefaultModel()
+	// Exactly two mid cores: zero headroom.
+	center, _ := startPipeline(t, 2*m.Power(cmp.MidLevel))
+	if got := center.FreeCores(); got != 0 {
+		t.Errorf("FreeCores at zero headroom = %d, want 0", got)
+	}
+	// Lower one instance a step: small but positive headroom, below one
+	// minimum-power core or not, FreeCores must report at least 1.
+	in := center.Stages()[0].Instances()[0]
+	if err := in.SetLevel(cmp.MidLevel - 1); err != nil {
+		t.Fatal(err)
+	}
+	h := center.Headroom()
+	if h <= 0 {
+		t.Fatalf("headroom = %v after lowering a level", h)
+	}
+	want := int(h / m.MinPower())
+	if want < 1 {
+		want = 1
+	}
+	if got := center.FreeCores(); got != want || got < 1 {
+		t.Errorf("FreeCores at headroom %v = %d, want %d (and never 0 with positive headroom)", h, got, want)
+	}
+}
+
 func TestStageServiceValidation(t *testing.T) {
 	if _, err := NewStageService(StageOptions{}); err == nil {
 		t.Error("empty options accepted")

@@ -27,10 +27,26 @@ func TestStageDeathSurfacesToCenter(t *testing.T) {
 	if !strings.Contains(err.Error(), "QA") {
 		t.Errorf("error does not name the dead stage: %v", err)
 	}
-	// Policy adjustment also fails loudly (stats refresh hits the dead
-	// stage) rather than acting on stale state.
-	if _, err := center.Adjust(core.NewFreqBoost(core.DefaultConfig())); err == nil {
-		t.Error("Adjust succeeded with a dead stage")
+	// Policy adjustment keeps running in degraded mode: the dead stage's
+	// refresh failure feeds its health machine (quarantining it once the
+	// failure budget is spent) and the policy acts on the survivors.
+	if _, err := center.Adjust(core.NewFreqBoost(core.DefaultConfig())); err != nil {
+		t.Errorf("degraded Adjust failed: %v", err)
+	}
+	if _, err := center.Adjust(core.NewFreqBoost(core.DefaultConfig())); err != nil {
+		t.Errorf("second degraded Adjust failed: %v", err)
+	}
+	// After SuspectAfter consecutive failures the stage is quarantined:
+	// excluded from the stage view and its watts reclaimed.
+	if got := len(center.Quarantined()); got != 1 {
+		t.Fatalf("quarantined stages = %d, want 1", got)
+	}
+	if got := len(center.Stages()); got != 1 {
+		t.Errorf("visible stages = %d, want the survivor only", got)
+	}
+	want := cmp.DefaultModel().Power(cmp.MidLevel)
+	if !cmp.ApproxEqual(center.Draw(), want) {
+		t.Errorf("Draw with quarantined stage = %v, want %v (survivor only)", center.Draw(), want)
 	}
 }
 

@@ -153,6 +153,10 @@ func (c *Cluster) FreeCores() int {
 	return c.chip.Free()
 }
 
+// Quarantined implements core.System. The in-process cluster cannot lose a
+// stage (instances are goroutines in this process); nothing is quarantined.
+func (c *Cluster) Quarantined() []core.StageControl { return nil }
+
 // Stages implements core.System.
 func (c *Cluster) Stages() []core.StageControl {
 	c.mu.Lock()

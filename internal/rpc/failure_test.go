@@ -3,7 +3,9 @@ package rpc
 import (
 	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 )
@@ -139,6 +141,149 @@ func readFull(conn net.Conn, buf []byte) (int, error) {
 		}
 	}
 	return total, nil
+}
+
+// trickleProxy forwards traffic between a client and backend a few bytes at
+// a time with pauses — every frame arrives fragmented across many reads, so
+// both peers' framing layers must reassemble partial frames correctly.
+func trickleProxy(t *testing.T, backend string, chunk int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			server, err := net.Dial("tcp", backend)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			trickle := func(dst, src net.Conn) {
+				defer dst.Close()
+				defer src.Close()
+				buf := make([]byte, chunk)
+				for {
+					n, err := src.Read(buf)
+					if n > 0 {
+						if _, werr := dst.Write(buf[:n]); werr != nil {
+							return
+						}
+						time.Sleep(100 * time.Microsecond)
+					}
+					if err != nil {
+						return
+					}
+				}
+			}
+			go trickle(server, conn)
+			go trickle(conn, server)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestPipeliningSurvivesFragmentedFrames(t *testing.T) {
+	_, backend := newTestServer(t)
+	addr := trickleProxy(t, backend, 3) // 3-byte fragments: every header splits
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Concurrent callers pipeline over the single fragmented connection;
+	// responses must still correlate to the right requests by ID.
+	const callers = 8
+	const calls = 4
+	errs := make(chan error, callers*calls)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				var sum int
+				a, b := g*100+i, g+i
+				if err := c.Call("add", addArgs{a, b}, &sum); err != nil {
+					errs <- err
+					continue
+				}
+				if sum != a+b {
+					errs <- fmt.Errorf("caller %d call %d: sum = %d, want %d (cross-wired response?)", g, i, sum, a+b)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestPendingCallsFailOnShortWriteResponse(t *testing.T) {
+	// A server that accepts requests but answers with a short write — half a
+	// response frame — and hangs up. Every pending pipelined call must fail
+	// (not hang) and the client must report broken.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Read one full request frame.
+		var hdr [4]byte
+		if _, err := readFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		buf := make([]byte, n)
+		if _, err := readFull(conn, buf); err != nil {
+			return
+		}
+		// Announce a 100-byte response but deliver only 10 bytes.
+		binary.BigEndian.PutUint32(hdr[:], 100)
+		conn.Write(hdr[:])
+		conn.Write([]byte("0123456789"))
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const callers = 4
+	done := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		go func() {
+			var out int
+			done <- c.Call("add", addArgs{1, 2}, &out)
+		}()
+	}
+	for g := 0; g < callers; g++ {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Error("call against a short-writing server succeeded")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("pipelined call hung on short-write response")
+		}
+	}
+	if !c.Broken() {
+		t.Error("client not marked broken after truncated response stream")
+	}
 }
 
 func TestResultEncodingFailureReportedToCaller(t *testing.T) {

@@ -1,0 +1,95 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds retries of idempotent calls. A retry is attempted only
+// on transient transport failures (see IsTransient); application errors
+// returned by the remote handler are never retried.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt (default 2,
+	// negative disables retries).
+	Max int
+	// BaseBackoff is the first retry delay; each subsequent retry doubles it
+	// (default 25ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 1s).
+	MaxBackoff time.Duration
+	// Jitter is the random fraction added to each delay in [0, Jitter)
+	// to decorrelate retry storms across callers (default 0.5).
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Max == 0 {
+		p.Max = 2
+	}
+	if p.Max < 0 {
+		p.Max = 0
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 25 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.5
+	}
+	return p
+}
+
+// backoffRNG feeds retry jitter; guarded because clients retry concurrently.
+var (
+	backoffMu  sync.Mutex
+	backoffRNG = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// Backoff returns the delay before retry `attempt` (0-based): exponential
+// growth from BaseBackoff capped at MaxBackoff, plus proportional jitter.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := p.BaseBackoff << uint(attempt)
+	if d > p.MaxBackoff || d <= 0 { // d <= 0 guards shift overflow
+		d = p.MaxBackoff
+	}
+	backoffMu.Lock()
+	f := backoffRNG.Float64()
+	backoffMu.Unlock()
+	return d + time.Duration(f*p.Jitter*float64(d))
+}
+
+// CallRetry invokes an idempotent method with the client's retry policy:
+// transient failures (timeouts, broken connections) are retried with
+// exponential backoff and jitter, redialing the connection when it is
+// broken. Use only for methods that are safe to execute more than once —
+// reads like stage.stats and stage.info, not mutations.
+func (c *Client) CallRetry(method string, params any, result any) error {
+	policy := c.opts.Retry.withDefaults()
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.Call(method, params, result)
+		if err == nil || !IsTransient(err) || errors.Is(err, ErrClosed) {
+			return err
+		}
+		if attempt >= policy.Max {
+			break
+		}
+		time.Sleep(policy.Backoff(attempt))
+		if c.Broken() {
+			if rerr := c.Redial(); rerr != nil {
+				err = rerr
+				if errors.Is(rerr, ErrClosed) {
+					return err
+				}
+				continue // dial failures consume attempts too
+			}
+		}
+	}
+	return fmt.Errorf("rpc: %s failed after %d attempts: %w", method, policy.Max+1, err)
+}

@@ -217,73 +217,205 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Sentinel transport errors. Both are connection-level conditions — a
+// *ServerError, by contrast, is an application-level failure reported by a
+// reachable, healthy peer.
+var (
+	// ErrTimeout marks a call that exceeded its deadline. The connection
+	// stays open (a late response is discarded by ID), but callers should
+	// treat repeated timeouts as a sign the peer is hung.
+	ErrTimeout = errors.New("rpc: call timed out")
+	// ErrBroken marks a client whose connection has failed; Redial restores
+	// it.
+	ErrBroken = errors.New("rpc: connection broken")
+	// ErrClosed marks a client closed by its owner; it cannot be redialed.
+	ErrClosed = errors.New("rpc: client closed")
+)
+
+// ServerError is an application error returned by the remote handler. It is
+// never retried: the request reached the peer and was answered.
+type ServerError struct{ Msg string }
+
+// Error implements error.
+func (e *ServerError) Error() string { return e.Msg }
+
+// IsTransient reports whether err is a transport-level failure — a timeout,
+// a broken or closed connection, a dial or I/O error — for which retrying an
+// idempotent call may succeed. Application errors (*ServerError) are not
+// transient.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *ServerError
+	return !errors.As(err, &se)
+}
+
+// ClientOptions tunes a client's deadlines and retry behaviour.
+type ClientOptions struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// CallTimeout bounds every Call unless overridden per call with
+	// CallDeadline. Zero means no deadline (the seed behaviour).
+	CallTimeout time.Duration
+	// Retry governs CallRetry for idempotent methods.
+	Retry RetryPolicy
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	o.Retry = o.Retry.withDefaults()
+	return o
+}
+
+// callResult is what a pending call receives: a decoded response or a
+// transport error.
+type callResult struct {
+	resp Response
+	err  error
+}
+
 // Client is a pipelined RPC client over one TCP connection. Safe for
-// concurrent use.
+// concurrent use. A connection failure marks the client broken — every
+// pending and future call fails fast with ErrBroken — until Redial
+// re-establishes it.
 type Client struct {
-	conn net.Conn
+	addr string
+	opts ClientOptions
 
 	writeMu sync.Mutex
 	nextID  uint64
 
 	mu      sync.Mutex
-	pending map[uint64]chan Response
+	conn    net.Conn
+	gen     int // bumped by Redial so a stale readLoop cannot break the new conn
+	pending map[uint64]chan callResult
 	err     error
-	done    chan struct{}
+	closed  bool
 }
 
 // Dial connects to a server.
 func Dial(addr string) (*Client, error) {
-	return DialTimeout(addr, 5*time.Second)
+	return DialOptions(addr, ClientOptions{})
 }
 
 // DialTimeout connects with a dial timeout.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return DialOptions(addr, ClientOptions{DialTimeout: timeout})
+}
+
+// DialOptions connects with full client options.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, pending: make(map[uint64]chan Response), done: make(chan struct{})}
-	go c.readLoop()
+	c := &Client{addr: addr, opts: opts, conn: conn, pending: make(map[uint64]chan callResult)}
+	go c.readLoop(conn, c.gen)
 	return c, nil
 }
 
-func (c *Client) readLoop() {
-	r := bufio.NewReader(c.conn)
+// Broken reports whether the connection has failed (and the client is not
+// closed). A broken client can be restored with Redial.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil && !c.closed
+}
+
+// Redial drops the broken connection and establishes a fresh one to the same
+// address. Pending calls on the old connection have already failed; calls
+// issued after Redial returns use the new connection. Redialing a healthy
+// client replaces its connection. A closed client cannot be redialed.
+func (c *Client) Redial() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	old := c.conn
+	c.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	// Abort anything still pending on the old connection, then swap.
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- callResult{err: fmt.Errorf("%w: replaced by redial", ErrBroken)}
+	}
+	c.conn = conn
+	c.gen++
+	gen := c.gen
+	c.err = nil
+	c.mu.Unlock()
+
+	if old != nil {
+		old.Close()
+	}
+	go c.readLoop(conn, gen)
+	return nil
+}
+
+func (c *Client) readLoop(conn net.Conn, gen int) {
+	r := bufio.NewReader(conn)
 	for {
 		var resp Response
 		if err := readFrame(r, &resp); err != nil {
-			c.fail(fmt.Errorf("rpc: connection lost: %w", err))
+			c.fail(gen, fmt.Errorf("%w: %v", ErrBroken, err))
 			return
 		}
 		c.mu.Lock()
+		if gen != c.gen {
+			c.mu.Unlock()
+			return // a redial superseded this connection
+		}
 		ch, ok := c.pending[resp.ID]
 		delete(c.pending, resp.ID)
 		c.mu.Unlock()
 		if ok {
-			ch <- resp
+			ch <- callResult{resp: resp}
 		}
 	}
 }
 
-// fail aborts every pending call with err.
-func (c *Client) fail(err error) {
+// fail aborts every pending call with err, provided gen still names the
+// current connection (a stale readLoop must not break a redialed client).
+func (c *Client) fail(gen int, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.err != nil {
+	if gen != c.gen || c.err != nil {
 		return
 	}
 	c.err = err
-	close(c.done)
 	for id, ch := range c.pending {
 		delete(c.pending, id)
-		ch <- Response{Error: err.Error()}
+		ch <- callResult{err: err}
 	}
 }
 
 // Call invokes method with params and decodes the result into result (which
-// may be nil to discard it). It blocks until the response arrives or the
-// connection fails.
+// may be nil to discard it). It blocks until the response arrives, the
+// connection fails, or the client's CallTimeout (if configured) elapses.
 func (c *Client) Call(method string, params any, result any) error {
+	return c.CallDeadline(method, params, result, c.opts.CallTimeout)
+}
+
+// CallDeadline is Call with an explicit per-call deadline. timeout <= 0
+// means no deadline. On timeout the call returns an error wrapping
+// ErrTimeout; the connection stays open and a late response is discarded.
+func (c *Client) CallDeadline(method string, params any, result any, timeout time.Duration) error {
 	var raw json.RawMessage
 	if params != nil {
 		payload, err := json.Marshal(params)
@@ -292,7 +424,7 @@ func (c *Client) Call(method string, params any, result any) error {
 		}
 		raw = payload
 	}
-	ch := make(chan Response, 1)
+	ch := make(chan callResult, 1)
 
 	c.mu.Lock()
 	if c.err != nil {
@@ -300,34 +432,68 @@ func (c *Client) Call(method string, params any, result any) error {
 		c.mu.Unlock()
 		return err
 	}
+	conn := c.conn
 	c.nextID++
 	id := c.nextID
 	c.pending[id] = ch
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeFrame(c.conn, Request{ID: id, Method: method, Params: raw})
+	err := writeFrame(conn, Request{ID: id, Method: method, Params: raw})
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return err
+		return fmt.Errorf("%w: %v", ErrBroken, err)
 	}
 
-	resp := <-ch
-	if resp.Error != "" {
-		return errors.New(resp.Error)
+	var res callResult
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		select {
+		case res = <-ch:
+		case <-timer.C:
+			c.mu.Lock()
+			delete(c.pending, id)
+			c.mu.Unlock()
+			// The response may have been delivered between the timer firing
+			// and the delete; prefer it if so.
+			select {
+			case res = <-ch:
+			default:
+				return fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
+			}
+		}
+	} else {
+		res = <-ch
 	}
-	if result != nil && len(resp.Result) > 0 {
-		return json.Unmarshal(resp.Result, result)
+
+	if res.err != nil {
+		return res.err
+	}
+	if res.resp.Error != "" {
+		return &ServerError{Msg: res.resp.Error}
+	}
+	if result != nil && len(res.resp.Result) > 0 {
+		return json.Unmarshal(res.resp.Result, result)
 	}
 	return nil
 }
 
-// Close tears the connection down, failing pending calls.
+// Close tears the connection down, failing pending calls. The client cannot
+// be redialed afterwards.
 func (c *Client) Close() error {
-	err := c.conn.Close()
-	c.fail(errors.New("rpc: client closed"))
+	c.mu.Lock()
+	c.closed = true
+	gen := c.gen
+	conn := c.conn
+	c.mu.Unlock()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	c.fail(gen, ErrClosed)
 	return err
 }
