@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build vet test race check ci
+# Pinned staticcheck version, matching .github/workflows/ci.yml.
+STATICCHECK_VERSION ?= 2024.1.1
+
+.PHONY: all build vet staticcheck test race check ci
 
 all: check
 
@@ -10,16 +13,26 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Runs staticcheck when the tool is on PATH; CI installs the pinned version,
+# locally it is optional (no network fetch from a bare `make check`).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 # Race-focused pass over the concurrency-heavy packages: the RPC transport,
-# the distributed control plane (including the chaos tests), and the stage
-# engine.
+# the distributed control plane (including the chaos tests), the stage
+# engine, and the telemetry subsystem (ring buffers + registry under
+# concurrent writers).
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/dist/... ./internal/stage/...
+	$(GO) test -race ./internal/rpc/... ./internal/dist/... ./internal/stage/... ./internal/telemetry/...
 
 # The full local gate: what CI runs.
-check: vet build test race
+check: vet staticcheck build test race
 
 ci: check

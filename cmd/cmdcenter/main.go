@@ -20,6 +20,7 @@ import (
 	"powerchief"
 	"powerchief/internal/dist"
 	"powerchief/internal/rpc"
+	"powerchief/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +44,11 @@ func main() {
 		probeInterval = flag.Duration("probe", 500*time.Millisecond, "health-probe cadence for suspect/down stages")
 		suspectAfter  = flag.Int("suspectafter", 2, "consecutive failures before a stage is quarantined")
 		degraded      = flag.Bool("degraded", false, "serve queries from surviving stages when a stage is quarantined (skip it) instead of failing submits fast")
+
+		// Telemetry.
+		metricsAddr = flag.String("metrics.addr", "", "serve /metrics, /debug/trace and /debug/decisions on this address (empty disables)")
+		traceSample = flag.Int("trace.sample", 0, "keep every Nth completed query trace (0 disables tracing)")
+		traceDepth  = flag.Int("trace.depth", 0, "max per-query records materialized into spans (0 = default)")
 	)
 	flag.Parse()
 	if *stages == "" {
@@ -64,6 +70,12 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
+	audit := powerchief.NewAuditLog(0)
+	var tracer *powerchief.Tracer
+	if *traceSample > 0 {
+		tracer = powerchief.NewTracer(powerchief.TracerOptions{Sample: *traceSample, Depth: *traceDepth})
+	}
+
 	center, err := dist.NewCenterOptions(powerchief.Watts(*budget), 4**interval, addrs, dist.CenterOptions{
 		CallTimeout:    *callTimeout,
 		SubmitTimeout:  *submitTimeout,
@@ -71,6 +83,8 @@ func main() {
 		ProbeInterval:  *probeInterval,
 		SuspectAfter:   *suspectAfter,
 		DegradedSubmit: *degraded,
+		Audit:          audit,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -79,7 +93,38 @@ func main() {
 	fmt.Printf("command center connected to %d stages, policy %s, budget %.2fW\n",
 		len(addrs), *policy, *budget)
 
+	if *metricsAddr != "" {
+		reg := powerchief.NewMetricsRegistry()
+		reg.GaugeFunc("powerchief_power_draw_watts", "current modelled chip draw", func() float64 {
+			return float64(center.Draw())
+		})
+		reg.GaugeFunc("powerchief_power_headroom_watts", "budget minus draw", func() float64 {
+			return float64(center.Headroom())
+		})
+		reg.CounterFunc("powerchief_queries_submitted_total", "queries admitted", func() float64 {
+			sub, _ := center.Counts()
+			return float64(sub)
+		})
+		reg.CounterFunc("powerchief_queries_completed_total", "queries completed", func() float64 {
+			_, comp := center.Counts()
+			return float64(comp)
+		})
+		reg.GaugeFunc("powerchief_stages_quarantined", "stages currently quarantined", func() float64 {
+			return float64(len(center.Quarantined()))
+		})
+		reg.CounterFunc("powerchief_decisions_total", "decision audit events recorded", func() float64 {
+			return float64(audit.LastSeq())
+		})
+		srv, err := telemetry.Serve(*metricsAddr, telemetry.Handler(reg, audit, tracer))
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr)
+	}
+
 	ctl := mk()
+	powerchief.AttachAudit(ctl, audit)
 	stopCtl := make(chan struct{})
 	var ctlWG sync.WaitGroup
 	ctlWG.Add(1)

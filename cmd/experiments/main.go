@@ -14,9 +14,12 @@
 //	tail.txt           tail-latency distribution per policy (§10 future work)
 //	ablations.txt      design-choice ablations (metric, withdraw, split-clone,
 //	                   balance threshold, dispatcher)
+//	decisions.txt      the Command Center's decision audit timeline for an
+//	                   audited PowerChief run (identify / boost / recycle)
 //	headline.txt       the abstract's aggregate numbers, paper vs measured
 //
-// Use -fig to regenerate a single experiment (2,4,10,11,12,13,14,tail,ablations).
+// Use -fig to regenerate a single experiment
+// (2,4,10,11,12,13,14,tail,ablations,decisions).
 package main
 
 import (
@@ -28,7 +31,10 @@ import (
 	"time"
 
 	"powerchief/internal/app"
+	"powerchief/internal/cmp"
+	"powerchief/internal/core"
 	"powerchief/internal/harness"
+	"powerchief/internal/telemetry"
 	"powerchief/internal/workload"
 )
 
@@ -184,6 +190,34 @@ func main() {
 				}
 			}
 			return nil
+		})
+	})
+
+	run("decisions", func() error {
+		// An audited PowerChief run: the full decision timeline — every
+		// bottleneck identification with its Equation 1 inputs, the
+		// Equation 2/3 estimates behind each boost, recycle donor lists and
+		// withdraws — dumped as text. The companion of Figure 11's runtime
+		// traces, from the controller's point of view.
+		audit := telemetry.NewAuditLog(0)
+		sc := harness.Scenario{
+			Name:     "sirius-decisions",
+			App:      mustApp("sirius"),
+			Level:    cmp.MidLevel,
+			Budget:   13.56,
+			Policy:   func() core.Policy { return core.NewPowerChief(core.DefaultConfig()) },
+			Source: func(capacity float64) workload.Source {
+				return workload.Constant(workload.RateForUtilization(capacity, workload.High.Utilization()))
+			},
+			Duration: 900 * time.Second,
+			Seed:     *seed,
+			Audit:    audit,
+		}
+		if _, err := harness.Run(sc); err != nil {
+			return err
+		}
+		return writeTo(*out, "decisions.txt", func(w io.Writer) error {
+			return telemetry.WriteDecisions(w, audit.Events())
 		})
 	})
 

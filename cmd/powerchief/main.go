@@ -37,6 +37,7 @@ func main() {
 		levelStr   = flag.String("level", "mid", "initial frequency: min, mid, max, or GHz value like 1.8")
 		instances  = flag.String("instances", "", "per-stage instance counts, e.g. 4,2,5 (default: 1 per stage)")
 		tracePath  = flag.String("trace", "", "write the run's time series as CSV to this file")
+		decisions  = flag.String("decisions", "", "write the controller's decision audit timeline to this file (\"-\" for stdout)")
 		configPath = flag.String("config", "", "load the experiment from a JSON file (overrides other flags)")
 		saveConfig = flag.String("save-config", "", "write the experiment implied by the flags as JSON and exit")
 	)
@@ -122,12 +123,34 @@ func main() {
 		Duration:       *duration,
 		Seed:           *seed,
 	}
+	var audit *powerchief.AuditLog
+	if *decisions != "" {
+		audit = powerchief.NewAuditLog(0)
+		sc.Audit = audit
+	}
 	res, err := powerchief.Run(sc)
 	if err != nil {
 		fatal(err)
 	}
 	if err := powerchief.WriteResult(os.Stdout, res); err != nil {
 		fatal(err)
+	}
+	if audit != nil {
+		out := os.Stdout
+		if *decisions != "-" {
+			f, err := os.Create(*decisions)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := powerchief.WriteDecisions(out, audit.Events()); err != nil {
+			fatal(err)
+		}
+		if *decisions != "-" {
+			fmt.Printf("decision timeline written to %s (%d events)\n", *decisions, audit.Len())
+		}
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

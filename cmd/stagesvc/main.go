@@ -27,6 +27,7 @@ import (
 	"powerchief/internal/cmp"
 	"powerchief/internal/dist"
 	"powerchief/internal/stage"
+	"powerchief/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +44,11 @@ func main() {
 		// Fault injection (chaos harness).
 		chaos      = flag.String("chaos", "", "serve through the fault-injection proxy: pass, hang, slow or deny")
 		chaosDelay = flag.Duration("chaosdelay", 100*time.Millisecond, "per-reply delay in -chaos slow mode")
+
+		// Telemetry.
+		metricsAddr = flag.String("metrics.addr", "", "serve /metrics and /debug/trace on this address (empty disables)")
+		traceSample = flag.Int("trace.sample", 0, "keep every Nth locally completed query trace (0 disables tracing)")
+		traceDepth  = flag.Int("trace.depth", 0, "max per-query records materialized into spans (0 = default)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -98,6 +104,31 @@ func main() {
 		}
 	}
 	fmt.Printf("stage %s serving on %s (%d instances @ %v)\n", *name, bound, *instances, lvl)
+
+	if *metricsAddr != "" {
+		cluster := svc.Cluster()
+		var tracer *telemetry.Tracer
+		if *traceSample > 0 {
+			tracer = telemetry.NewTracer(telemetry.TracerOptions{Sample: *traceSample, Depth: *traceDepth})
+			cluster.OnComplete(tracer.ObserveQuery)
+		}
+		reg := telemetry.NewRegistry()
+		reg.GaugeFunc("powerchief_stage_power_draw_watts", "local modelled draw", func() float64 {
+			return float64(cluster.Draw())
+		})
+		reg.CounterFunc("powerchief_stage_queries_submitted_total", "queries accepted by this stage", func() float64 {
+			return float64(cluster.Submitted())
+		})
+		reg.CounterFunc("powerchief_stage_queries_completed_total", "queries served by this stage", func() float64 {
+			return float64(cluster.Completed())
+		})
+		srv, err := telemetry.Serve(*metricsAddr, telemetry.Handler(reg, nil, tracer))
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("stage %s telemetry on http://%s/metrics\n", *name, srv.Addr)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

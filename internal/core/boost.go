@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"powerchief/internal/cmp"
+	"powerchief/internal/telemetry"
 )
 
 // BoostKind names the boosting technique applied at one control interval.
@@ -85,6 +86,10 @@ type Engine struct {
 	// trySplitClone), restoring the literal Algorithm 1 behaviour. Used by
 	// the ablation benchmarks.
 	DisableSplitClone bool
+
+	// Audit, when set, receives a recycle event for every pass that freed
+	// power, listing the donor instances and their level steps.
+	Audit *telemetry.AuditLog
 }
 
 // SelectBoosting runs Algorithm 1 against the current ranking (bottleneck
@@ -124,7 +129,7 @@ func (e Engine) SelectBoosting(sys System, ranked []Ranked) BoostOutcome {
 
 	if wantInstance {
 		if need := p - sys.Headroom(); need > 0 {
-			out.Recycled += e.Recycler.Recycle(model, donors, need)
+			out.Recycled += e.recycle(sys, model, donors, need)
 		}
 		if sys.Headroom()+1e-9 >= p {
 			if clone, err := bn.Stage.Clone(bn.Instance); err == nil {
@@ -155,7 +160,7 @@ func (e Engine) SelectBoosting(sys System, ranked []Ranked) BoostOutcome {
 		desired = cur + 1
 	}
 	if need := cmp.BoostCost(model, cur, desired) - sys.Headroom(); need > 0 {
-		out.Recycled += e.Recycler.Recycle(model, donors, need)
+		out.Recycled += e.recycle(sys, model, donors, need)
 	}
 	target, ok := cmp.HighestAffordable(model, model.Power(cur)+sys.Headroom())
 	if !ok || target <= cur {
@@ -231,7 +236,7 @@ func (e Engine) FreqBoostToMax(sys System, ranked []Ranked) BoostOutcome {
 	}
 	donors := DonorsFromRanking(ranked, bn.Instance)
 	if need := cmp.BoostCost(model, cur, cmp.MaxLevel) - sys.Headroom(); need > 0 {
-		out.Recycled += e.Recycler.Recycle(model, donors, need)
+		out.Recycled += e.recycle(sys, model, donors, need)
 	}
 	target, ok := cmp.HighestAffordable(model, model.Power(cur)+sys.Headroom())
 	if !ok || target <= cur {
@@ -261,7 +266,7 @@ func (e Engine) InstBoostAlways(sys System, ranked []Ranked) BoostOutcome {
 	p := model.Power(cur)
 	donors := DonorsFromRanking(ranked, bn.Instance)
 	if need := p - sys.Headroom(); need > 0 {
-		out.Recycled += e.Recycler.Recycle(model, donors, need)
+		out.Recycled += e.recycle(sys, model, donors, need)
 	}
 	if sys.Headroom()+1e-9 < p {
 		// The clone would not fit even at the bottleneck's frequency. Try

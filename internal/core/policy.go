@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"powerchief/internal/telemetry"
 )
 
 // Config carries the runtime parameters of the control loop (Table 2 /
@@ -74,6 +76,7 @@ func (Static) Adjust(System, *Aggregator) BoostOutcome { return BoostOutcome{Kin
 type FreqBoost struct {
 	Cfg    Config
 	engine Engine
+	audit  *telemetry.AuditLog
 }
 
 // NewFreqBoost builds the policy with the given configuration.
@@ -82,13 +85,22 @@ func NewFreqBoost(cfg Config) *FreqBoost { return &FreqBoost{Cfg: cfg} }
 // Name implements Policy.
 func (*FreqBoost) Name() string { return "freq-boost" }
 
+// SetAudit implements AuditSetter.
+func (f *FreqBoost) SetAudit(a *telemetry.AuditLog) {
+	f.audit = a
+	f.engine.Audit = a
+}
+
 // Adjust implements Policy.
 func (f *FreqBoost) Adjust(sys System, agg *Aggregator) BoostOutcome {
 	ranked := Identifier{Metric: f.Cfg.Metric}.Rank(sys, agg)
+	auditIdentify(f.audit, sys.Now(), ranked)
 	if len(ranked) == 0 || Spread(ranked) < f.Cfg.BalanceThreshold {
 		return BoostOutcome{Kind: BoostNone}
 	}
-	return f.engine.FreqBoostToMax(sys, ranked)
+	out := f.engine.FreqBoostToMax(sys, ranked)
+	auditOutcome(f.audit, sys, out)
+	return out
 }
 
 // InstBoost is the pure instance-boosting policy: every interval it tries to
@@ -96,6 +108,7 @@ func (f *FreqBoost) Adjust(sys System, agg *Aggregator) BoostOutcome {
 type InstBoost struct {
 	Cfg    Config
 	engine Engine
+	audit  *telemetry.AuditLog
 }
 
 // NewInstBoost builds the policy with the given configuration.
@@ -104,13 +117,22 @@ func NewInstBoost(cfg Config) *InstBoost { return &InstBoost{Cfg: cfg} }
 // Name implements Policy.
 func (*InstBoost) Name() string { return "inst-boost" }
 
+// SetAudit implements AuditSetter.
+func (i *InstBoost) SetAudit(a *telemetry.AuditLog) {
+	i.audit = a
+	i.engine.Audit = a
+}
+
 // Adjust implements Policy.
 func (i *InstBoost) Adjust(sys System, agg *Aggregator) BoostOutcome {
 	ranked := Identifier{Metric: i.Cfg.Metric}.Rank(sys, agg)
+	auditIdentify(i.audit, sys.Now(), ranked)
 	if len(ranked) == 0 || Spread(ranked) < i.Cfg.BalanceThreshold {
 		return BoostOutcome{Kind: BoostNone}
 	}
-	return i.engine.InstBoostAlways(sys, ranked)
+	out := i.engine.InstBoostAlways(sys, ranked)
+	auditOutcome(i.audit, sys, out)
+	return out
 }
 
 // PowerChief is the full adaptive policy: accurate bottleneck
@@ -119,6 +141,7 @@ func (i *InstBoost) Adjust(sys System, agg *Aggregator) BoostOutcome {
 type PowerChief struct {
 	Cfg          Config
 	engine       Engine
+	audit        *telemetry.AuditLog
 	lastWithdraw time.Duration
 	withdrawInit bool
 
@@ -133,6 +156,12 @@ func NewPowerChief(cfg Config) *PowerChief {
 
 // Name implements Policy.
 func (*PowerChief) Name() string { return "powerchief" }
+
+// SetAudit implements AuditSetter.
+func (p *PowerChief) SetAudit(a *telemetry.AuditLog) {
+	p.audit = a
+	p.engine.Audit = a
+}
 
 // Adjust implements Policy.
 func (p *PowerChief) Adjust(sys System, agg *Aggregator) BoostOutcome {
@@ -151,6 +180,13 @@ func (p *PowerChief) Adjust(sys System, agg *Aggregator) BoostOutcome {
 		plans := PlanWithdraws(sys, ranked, p.Cfg.WithdrawThreshold)
 		if n, err := ExecuteWithdraws(plans, agg); err == nil {
 			p.Withdrawn += n
+			for _, pl := range plans {
+				target := ""
+				if pl.Target != nil {
+					target = pl.Target.Name()
+				}
+				auditWithdraw(p.audit, now, pl.Stage.Name(), pl.Victim.Name(), target)
+			}
 		}
 		for _, in := range Instances(sys) {
 			in.ResetUtilizationEpoch()
@@ -161,8 +197,11 @@ func (p *PowerChief) Adjust(sys System, agg *Aggregator) BoostOutcome {
 		}
 	}
 
+	auditIdentify(p.audit, now, ranked)
 	if Spread(ranked) < p.Cfg.BalanceThreshold {
 		return BoostOutcome{Kind: BoostNone}
 	}
-	return p.engine.SelectBoosting(sys, ranked)
+	out := p.engine.SelectBoosting(sys, ranked)
+	auditOutcome(p.audit, sys, out)
+	return out
 }

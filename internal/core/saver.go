@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"powerchief/internal/cmp"
+	"powerchief/internal/telemetry"
 )
 
 // The QoS power-conservation policies of §8.4: resources are over-
@@ -116,6 +117,7 @@ type PowerChiefSaver struct {
 
 	cooldown int // intervals left before withdraws may resume
 	engine   Engine
+	audit    *telemetry.AuditLog
 }
 
 // NewPowerChiefSaver builds the policy for the given latency target.
@@ -129,6 +131,12 @@ func NewPowerChiefSaver(qos time.Duration, cfg Config) *PowerChiefSaver {
 // Name implements Policy.
 func (*PowerChiefSaver) Name() string { return "powerchief" }
 
+// SetAudit implements AuditSetter.
+func (s *PowerChiefSaver) SetAudit(a *telemetry.AuditLog) {
+	s.audit = a
+	s.engine.Audit = a
+}
+
 // Adjust implements Policy.
 func (s *PowerChiefSaver) Adjust(sys System, agg *Aggregator) BoostOutcome {
 	lat, ok := agg.WindowLatency()
@@ -140,6 +148,7 @@ func (s *PowerChiefSaver) Adjust(sys System, agg *Aggregator) BoostOutcome {
 	if len(ranked) == 0 {
 		return BoostOutcome{Kind: BoostNone}
 	}
+	auditIdentify(s.audit, sys.Now(), ranked)
 	frac := float64(lat) / float64(s.QoS)
 	switch {
 	case frac >= 1.0:
@@ -165,9 +174,17 @@ func (s *PowerChiefSaver) Adjust(sys System, agg *Aggregator) BoostOutcome {
 				out.Kind = BoostInstance
 				out.NewInstance = clone.Name()
 				s.Relaunched++
+				if s.audit.Enabled() {
+					s.audit.Record(telemetry.Event{
+						Time: sys.Now(), Kind: telemetry.EventRelaunch,
+						Stage: bn.Stage.Name(), Instance: clone.Name(),
+						HeadroomWatts: float64(sys.Headroom()),
+					})
+				}
 			}
 		}
 		s.cooldown = 6
+		auditOutcome(s.audit, sys, out)
 		return out
 	case frac >= 0.90:
 		// Near the target: give the bottleneck stage one step back.
@@ -241,6 +258,14 @@ func (s *PowerChiefSaver) Adjust(sys System, agg *Aggregator) BoostOutcome {
 		}
 		if err := in.SetLevel(l - 1); err == nil {
 			out = BoostOutcome{Kind: BoostFrequency, Target: in.Name(), OldLevel: l, NewLevel: l - 1}
+			if s.audit.Enabled() {
+				s.audit.Record(telemetry.Event{
+					Time: sys.Now(), Kind: telemetry.EventDeboost,
+					Stage: r.Stage.Name(), Instance: in.Name(),
+					OldLevel: int(l), NewLevel: int(l - 1),
+					HeadroomWatts: float64(sys.Headroom()),
+				})
+			}
 		}
 	}
 	return out
@@ -287,6 +312,7 @@ func (s *PowerChiefSaver) tryWithdraw(sys System, agg *Aggregator, ranked []Rank
 		}
 		agg.Forget(victim.Name())
 		s.Withdrawn++
+		auditWithdraw(s.audit, sys.Now(), st.Name(), victim.Name(), "")
 		for _, in := range Instances(sys) {
 			in.ResetUtilizationEpoch()
 		}

@@ -131,7 +131,8 @@ func (c *Center) beginQuery(work [][]time.Duration) (qid uint64, stages []*remot
 	return c.nextQID, stages, nil
 }
 
-// finishQuery records a completed query's statistics.
+// finishQuery records a completed query's statistics and offers it to the
+// telemetry tracer (nil-safe no-op when tracing is off).
 func (c *Center) finishQuery(q *query.Query) {
 	q.Done = c.Now()
 	c.agg.Ingest(q)
@@ -139,6 +140,7 @@ func (c *Center) finishQuery(q *query.Query) {
 	c.completed++
 	c.latency = append(c.latency, q.Latency())
 	c.mu.Unlock()
+	c.opts.Tracer.ObserveQuery(q)
 }
 
 // Submit dispatches one query through all stages, blocking until the

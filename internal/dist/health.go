@@ -8,6 +8,7 @@ import (
 
 	"powerchief/internal/cmp"
 	"powerchief/internal/rpc"
+	"powerchief/internal/telemetry"
 )
 
 // ErrStageDown marks a submit or actuation rejected because the target stage
@@ -84,6 +85,15 @@ type CenterOptions struct {
 	// pipelines from the survivors — instead of failing fast with
 	// ErrStageDown.
 	DegradedSubmit bool
+
+	// Audit, when set, receives a structured event for every health
+	// transition — suspect, quarantine (with the watts reclaimed into the
+	// survivors' headroom), recovering, re-admission — alongside the policy
+	// decisions recorded through core.AuditSetter.
+	Audit *telemetry.AuditLog
+	// Tracer, when set, samples completed queries into span trees built
+	// from the RPC-carried joint-design records.
+	Tracer *telemetry.Tracer
 }
 
 func (o CenterOptions) withDefaults() CenterOptions {
@@ -122,12 +132,15 @@ func (st *remoteStage) quarantined() bool {
 // actually re-admitted.
 func (st *remoteStage) noteSuccess() {
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	old := st.health
 	st.fails = 0
 	if st.health == Healthy || st.health == Suspect {
 		st.health = Healthy
 		st.lastErr = nil
 	}
+	cur := st.health
+	st.mu.Unlock()
+	st.auditTransition(old, cur, nil)
 }
 
 // noteFailure records a failed call and walks the state machine: first
@@ -136,9 +149,9 @@ func (st *remoteStage) noteSuccess() {
 func (st *remoteStage) noteFailure(err error) {
 	broken := st.client.Broken()
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	st.fails++
 	st.lastErr = err
+	old := st.health
 	switch st.health {
 	case Healthy:
 		st.health = Suspect
@@ -150,17 +163,58 @@ func (st *remoteStage) noteFailure(err error) {
 			st.health = Down
 		}
 	}
+	cur := st.health
+	st.mu.Unlock()
+	st.auditTransition(old, cur, err)
 }
 
 // setHealth forces a state (prober transitions).
 func (st *remoteStage) setHealth(h HealthState) {
 	st.mu.Lock()
+	old := st.health
 	st.health = h
 	if h == Healthy {
 		st.fails = 0
 		st.lastErr = nil
 	}
 	st.mu.Unlock()
+	st.auditTransition(old, h, nil)
+}
+
+// auditTransition records one health-state change in the center's audit
+// log. Called with st.mu released: the quarantine event snapshots the
+// stage's draw and the survivors' headroom, both of which re-acquire locks.
+func (st *remoteStage) auditTransition(old, cur HealthState, err error) {
+	a := st.center.opts.Audit
+	if !a.Enabled() || old == cur {
+		return
+	}
+	e := telemetry.Event{
+		Time:   st.center.Now(),
+		Stage:  st.name,
+		Detail: old.String() + "->" + cur.String(),
+	}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	switch cur {
+	case Suspect:
+		e.Kind = telemetry.EventStageSuspect
+	case Down:
+		// The stage leaves the system view here: its watts stop counting in
+		// Draw, which is exactly the headroom handed to the survivors.
+		e.Kind = telemetry.EventStageQuarantine
+		e.ReclaimedWatts = float64(st.draw(st.center.model))
+		e.HeadroomWatts = float64(st.center.Headroom())
+	case Recovering:
+		e.Kind = telemetry.EventStageRecovering
+	case Healthy:
+		// Either re-admission (recovering->healthy, budget restored) or a
+		// suspect stage answering again; Detail distinguishes them.
+		e.Kind = telemetry.EventStageReadmit
+		e.HeadroomWatts = float64(st.center.Headroom())
+	}
+	a.Record(e)
 }
 
 // LastError returns the error that drove the stage out of healthy, if any.

@@ -34,13 +34,18 @@ type ProcessArgs struct {
 	Work    []time.Duration `json:"work"`
 }
 
-// RecordWire is a query.Record in wire form.
+// RecordWire is a query.Record in wire form. Level and Boosted carry the
+// serving instance's DVFS state for the telemetry tracer; they are tagged
+// omitempty so frames to old peers stay byte-identical at the zero value,
+// and old peers' frames without them decode to the zero value here.
 type RecordWire struct {
 	Instance   string        `json:"instance"`
 	Stage      string        `json:"stage"`
 	QueueEnter time.Duration `json:"queue_enter"`
 	ServeStart time.Duration `json:"serve_start"`
 	ServeEnd   time.Duration `json:"serve_end"`
+	Level      int           `json:"level,omitempty"`
+	Boosted    bool          `json:"boosted,omitempty"`
 }
 
 // ProcessReply returns the latency records the stage appended — the joint
@@ -102,6 +107,8 @@ func (r RecordWire) toRecord(id query.ID) query.Record {
 		QueueEnter: r.QueueEnter,
 		ServeStart: r.ServeStart,
 		ServeEnd:   r.ServeEnd,
+		Level:      r.Level,
+		Boosted:    r.Boosted,
 	}
 }
 
@@ -113,5 +120,7 @@ func fromRecord(rec query.Record) RecordWire {
 		QueueEnter: rec.QueueEnter,
 		ServeStart: rec.ServeStart,
 		ServeEnd:   rec.ServeEnd,
+		Level:      rec.Level,
+		Boosted:    rec.Boosted,
 	}
 }

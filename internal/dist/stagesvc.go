@@ -189,6 +189,11 @@ func (s *StageService) register() {
 	})
 }
 
+// Cluster exposes the service's underlying live engine, so hosts can hang
+// telemetry off it — metric gauges over Draw/Counts, a local query tracer
+// via OnComplete.
+func (s *StageService) Cluster() *live.Cluster { return s.cluster }
+
 // Listen starts serving on addr and returns the bound address.
 func (s *StageService) Listen(addr string) (string, error) {
 	return s.server.Listen(addr)

@@ -19,6 +19,7 @@ import (
 	"powerchief/internal/sim"
 	"powerchief/internal/stage"
 	"powerchief/internal/stats"
+	"powerchief/internal/telemetry"
 	"powerchief/internal/workload"
 )
 
@@ -77,6 +78,11 @@ type Scenario struct {
 	// per-instance records) — for per-query analysis beyond the collected
 	// summaries.
 	Observe func(*query.Query)
+	// Audit, when set, is attached to the policy (via core.AuditSetter) so
+	// the run leaves a decision timeline behind. Nil keeps auditing off.
+	Audit *telemetry.AuditLog
+	// Tracer, when set, samples completed queries into span trees.
+	Tracer *telemetry.Tracer
 	// Dispatcher optionally replaces the default join-shortest-queue
 	// dispatch policy on every stage (one fresh dispatcher per stage).
 	Dispatcher func() stage.Dispatcher
@@ -196,6 +202,11 @@ func Run(sc Scenario) (*Result, error) {
 	view := core.NewDESView(sys)
 	agg := core.NewAggregator(sc.StatsWindow, eng.Now)
 	policy := sc.Policy()
+	if sc.Audit != nil {
+		if as, ok := policy.(core.AuditSetter); ok {
+			as.SetAudit(sc.Audit)
+		}
+	}
 
 	res := &Result{
 		Scenario:  sc.Name,
@@ -212,6 +223,9 @@ func Run(sc Scenario) (*Result, error) {
 	})
 	if sc.Observe != nil {
 		sys.OnComplete(sc.Observe)
+	}
+	if sc.Tracer != nil {
+		sys.OnComplete(sc.Tracer.ObserveQuery)
 	}
 
 	// Load: capacity anchored to the reference configuration.

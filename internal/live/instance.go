@@ -26,6 +26,7 @@ type Instance struct {
 
 	// Guarded by cluster.mu.
 	level    cmp.Level
+	boosted  bool // launched by an instance boost (clone)
 	queue    []queued
 	serving  bool
 	busy     *stats.BusyTracker
@@ -175,6 +176,7 @@ func (in *Instance) run() {
 		serveStart := c.Now()
 		in.busy.SetBusy(serveStart)
 		level := in.level
+		boosted := in.boosted
 		c.mu.Unlock()
 
 		// Simulated work: the query's demand at this frequency, compressed
@@ -196,6 +198,8 @@ func (in *Instance) run() {
 			QueueEnter: item.enter,
 			ServeStart: serveStart,
 			ServeEnd:   now,
+			Level:      int(level),
+			Boosted:    boosted,
 		})
 		var cbs []func(*query.Query)
 		if in.stage.spec.Kind != stage.FanOut || item.q.BranchDone() {

@@ -79,6 +79,9 @@ func (st *Stage) Clone(bottleneck core.Instance) (core.Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Safe under cluster.mu: the fresh worker goroutine blocks on the same
+	// lock before it can read boosted.
+	clone.boosted = true
 	// Steal the tail half of the source queue.
 	n := len(src.queue)
 	steal := n / 2

@@ -24,6 +24,14 @@ type Record struct {
 	QueueEnter time.Duration // virtual time the query entered the instance queue
 	ServeStart time.Duration // virtual time service began
 	ServeEnd   time.Duration // virtual time service completed
+
+	// Level is the instance's frequency level while it served the query and
+	// Boosted marks instances launched by an instance boost (clones) — the
+	// DVFS state the telemetry tracer attaches to each span. Engines that
+	// predate these fields leave them zero, which decodes as "base level,
+	// original instance".
+	Level   int
+	Boosted bool
 }
 
 // Queuing returns the time the query waited in the instance queue.

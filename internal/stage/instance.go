@@ -28,8 +28,9 @@ type Instance struct {
 	name   string
 	branch int // fan-out branch index (stable per instance)
 
-	core  cmp.CoreID
-	level cmp.Level
+	core    cmp.CoreID
+	level   cmp.Level
+	boosted bool // launched by an instance boost (clone)
 
 	queue      []queued
 	serving    *queued
@@ -164,6 +165,8 @@ func (in *Instance) complete() {
 		QueueEnter: item.enter,
 		ServeStart: in.serveStart,
 		ServeEnd:   now,
+		Level:      int(in.level),
+		Boosted:    in.boosted,
 	}
 	item.q.Append(rec)
 

@@ -185,6 +185,7 @@ func (st *Stage) Clone(src *Instance) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	in.boosted = true
 	// Offload the tail half of src's queue. Queue-enter timestamps travel
 	// with the queries so queuing time is still measured from the original
 	// enqueue.

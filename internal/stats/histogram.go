@@ -119,6 +119,16 @@ func (h *Histogram) Quantile(p float64) time.Duration {
 		return h.Max()
 	}
 	target := uint64(math.Ceil(p * float64(h.count)))
+	// The extreme ranks are tracked exactly; interpolating inside their
+	// buckets would report a point strictly inside the bucket instead. The
+	// rank-1 statistic is the minimum, and — when nothing overflowed — the
+	// rank-n statistic is the maximum.
+	if target <= 1 {
+		return h.Min()
+	}
+	if h.overflow == 0 && target >= h.count {
+		return h.Max()
+	}
 	if target > h.count-h.overflow {
 		return h.max
 	}

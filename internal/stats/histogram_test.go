@@ -113,6 +113,51 @@ func TestNewHistogramValidates(t *testing.T) {
 	}
 }
 
+// Regression: the extreme ranks must clamp to the exact tracked Min/Max
+// rather than a point interpolated inside the first/last bucket. With one
+// sample per bucket the old code returned the bucket's upper bound for
+// rank 1 (above Min) and an interior point for rank n (below Max).
+func TestHistogramQuantileExtremeClamp(t *testing.T) {
+	h := NewHistogram(1.1)
+	samples := []time.Duration{
+		1500 * time.Microsecond,
+		20 * time.Millisecond,
+		300 * time.Millisecond,
+		4 * time.Second,
+	}
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	// Any p small enough that ceil(p*n) == 1 is the rank-1 statistic.
+	for _, p := range []float64{0.01, 0.1, 0.25} {
+		if got := h.Quantile(p); got != h.Min() {
+			t.Errorf("Q(%v) = %v, want exact min %v", p, got, h.Min())
+		}
+	}
+	// Any p large enough that ceil(p*n) == n is the rank-n statistic (no
+	// overflow here, so the exact max).
+	for _, p := range []float64{0.76, 0.9, 0.999} {
+		if got := h.Quantile(p); got != h.Max() {
+			t.Errorf("Q(%v) = %v, want exact max %v", p, got, h.Max())
+		}
+	}
+	// Interior quantiles still interpolate: strictly between min and max.
+	if q := h.Quantile(0.5); q <= h.Min() || q >= h.Max() {
+		t.Errorf("Q(0.5) = %v, want strictly inside (%v, %v)", q, h.Min(), h.Max())
+	}
+}
+
+// Regression: a single observation reports itself at every quantile.
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	h := NewHistogram(1.1)
+	h.Observe(123 * time.Millisecond)
+	for _, p := range []float64{0, 0.001, 0.5, 0.99, 1} {
+		if got := h.Quantile(p); got != 123*time.Millisecond {
+			t.Errorf("Q(%v) = %v, want 123ms", p, got)
+		}
+	}
+}
+
 // Property: quantiles are monotone in p and bounded by Min/Max.
 func TestPropertyHistogramQuantileMonotone(t *testing.T) {
 	f := func(seed int64) bool {

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the observability endpoints:
+//
+//	/metrics          Prometheus text exposition of the registry
+//	/metrics.json     the same registry as a JSON array
+//	/debug/trace      sampled query traces (JSON), ?limit=N for the newest N
+//	/debug/decisions  the decision audit log (JSON), ?since=SEQ for a cursor
+//
+// Any of reg, audit, tracer may be nil; the matching endpoint then serves
+// its empty form rather than 404, so dashboards can probe uniformly.
+func Handler(reg *Registry, audit *AuditLog, tracer *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		snap := []MetricValue{}
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		writeJSON(w, snap)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		traces := tracer.Traces()
+		if traces == nil {
+			traces = []QueryTrace{}
+		}
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(traces) {
+				traces = traces[len(traces)-n:]
+			}
+		}
+		seen, kept, dropped := tracer.Stats()
+		writeJSON(w, struct {
+			Seen    uint64       `json:"seen"`
+			Kept    uint64       `json:"kept"`
+			Dropped uint64       `json:"dropped"`
+			Traces  []QueryTrace `json:"traces"`
+		}{seen, kept, dropped, traces})
+	})
+	mux.HandleFunc("/debug/decisions", func(w http.ResponseWriter, r *http.Request) {
+		var since uint64
+		if s := r.URL.Query().Get("since"); s != "" {
+			if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+				since = v
+			}
+		}
+		events := audit.Since(since)
+		if events == nil {
+			events = []Event{}
+		}
+		writeJSON(w, struct {
+			LastSeq uint64  `json:"last_seq"`
+			Dropped uint64  `json:"dropped"`
+			Events  []Event `json:"events"`
+		}{audit.LastSeq(), audit.Dropped(), events})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	Addr string // bound address, usable after Serve returns
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Serve binds addr (":0" picks a free port) and serves the handler in a
+// background goroutine. The caller owns Close.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: h}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

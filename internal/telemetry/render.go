@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDecisions renders a decision timeline as aligned human-readable text
+// — the format cmd/experiments dumps to results/decisions.txt and the
+// powerchief CLI prints with -decisions. One line per event, oldest first.
+func WriteDecisions(w io.Writer, events []Event) error {
+	for _, e := range events {
+		if _, err := fmt.Fprintln(w, FormatEvent(e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatEvent renders one event as a single timeline line.
+func FormatEvent(e Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%12v] %-16s", e.Time, string(e.Kind))
+	subject := e.Instance
+	if subject == "" {
+		subject = e.Stage
+	}
+	if subject != "" {
+		fmt.Fprintf(&b, " %s", subject)
+	}
+	switch e.Kind {
+	case EventIdentify:
+		fmt.Fprintf(&b, " L=%d q=%v s=%v metric=%v spread=%v",
+			e.QueueLen, e.Queuing, e.Serving, e.Metric, e.Spread)
+	case EventBoostFreq:
+		fmt.Fprintf(&b, " level %d->%d", e.OldLevel, e.NewLevel)
+		if e.TInst > 0 || e.TFreq > 0 {
+			fmt.Fprintf(&b, " Tinst=%v Tfreq=%v", e.TInst, e.TFreq)
+		}
+		fmt.Fprintf(&b, " recycled=%.2fW headroom=%.2fW", e.RecycledWatts, e.HeadroomWatts)
+	case EventBoostInst:
+		fmt.Fprintf(&b, " clone=%s level=%d", e.NewInstance, e.NewLevel)
+		if e.TInst > 0 || e.TFreq > 0 {
+			fmt.Fprintf(&b, " Tinst=%v Tfreq=%v", e.TInst, e.TFreq)
+		}
+		fmt.Fprintf(&b, " recycled=%.2fW headroom=%.2fW", e.RecycledWatts, e.HeadroomWatts)
+	case EventRecycle:
+		fmt.Fprintf(&b, " freed=%.2fW", e.RecycledWatts)
+		if len(e.Donors) > 0 {
+			parts := make([]string, len(e.Donors))
+			for i, d := range e.Donors {
+				parts[i] = fmt.Sprintf("%s:%d->%d(%.2fW)", d.Instance, d.FromLevel, d.ToLevel, d.FreedWatts)
+			}
+			fmt.Fprintf(&b, " donors=%s", strings.Join(parts, ","))
+		}
+	case EventWithdraw:
+		if e.Target != "" {
+			fmt.Fprintf(&b, " target=%s", e.Target)
+		}
+	case EventDeboost:
+		fmt.Fprintf(&b, " level %d->%d", e.OldLevel, e.NewLevel)
+	case EventStageQuarantine:
+		fmt.Fprintf(&b, " reclaimed=%.2fW headroom=%.2fW", e.ReclaimedWatts, e.HeadroomWatts)
+	case EventStageReadmit:
+		fmt.Fprintf(&b, " headroom=%.2fW", e.HeadroomWatts)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	if e.Err != "" {
+		fmt.Fprintf(&b, " err=%q", e.Err)
+	}
+	return b.String()
+}
