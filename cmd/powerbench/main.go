@@ -1,0 +1,364 @@
+// Command powerbench is the open-loop benchmark driver: it pushes a fixed
+// arrival schedule (Poisson or constant-rate, deterministic per seed) into
+// one of the framework's engines and reports coordinated-omission-safe
+// latency — intended-start to completion — as a human table and/or JSON.
+//
+// Targets:
+//
+//	-target live   the in-process goroutine engine (wall-clock)
+//	-target des    the discrete-event engine (virtual time; finishes in
+//	               milliseconds and is exactly reproducible per seed)
+//	-target dist   the distributed runtime: self-hosts one stage service
+//	               per application stage on loopback TCP, or connects to
+//	               running cmd/stagesvc processes with -addrs
+//
+// Examples:
+//
+//	powerbench -target des -app sirius -rate 4 -duration 60s -warmup 5s
+//	powerbench -target live -app nlp -rate 50 -duration 10s -timescale 0.02
+//	powerbench -target des -app sirius -sweep 1,2,4,8 -duration 60s -json -
+//
+// The sweep mode runs every rate concurrently across goroutines, each
+// against its own freshly built target, and prints one combined table —
+// the §8-style load sweep in a single command. With -metrics.addr the
+// run's live series (ops, errors, backlog, p99) are served on /metrics
+// while the benchmark is in flight.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"powerchief/internal/app"
+	"powerchief/internal/cmp"
+	"powerchief/internal/dist"
+	"powerchief/internal/live"
+	"powerchief/internal/loadgen"
+	"powerchief/internal/sim"
+	"powerchief/internal/stage"
+	"powerchief/internal/telemetry"
+)
+
+type options struct {
+	target    string
+	appName   string
+	rate      float64
+	sweep     string
+	arrivals  string
+	duration  time.Duration
+	warmup    time.Duration
+	workers   int
+	seed      int64
+	instances string
+	level     int
+	cores     int
+	budget    float64
+	timescale float64
+	addrs     string
+	jsonOut   string
+	metrics   string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.target, "target", "des", "engine to drive: live, des or dist")
+	flag.StringVar(&o.appName, "app", "sirius", "application: sirius, nlp or websearch")
+	flag.Float64Var(&o.rate, "rate", 4, "intended arrival rate (queries/s)")
+	flag.StringVar(&o.sweep, "sweep", "", "comma-separated rates to sweep concurrently (overrides -rate)")
+	flag.StringVar(&o.arrivals, "arrivals", "poisson", "arrival process: poisson or constant")
+	flag.DurationVar(&o.duration, "duration", 30*time.Second, "generation horizon")
+	flag.DurationVar(&o.warmup, "warmup", 0, "trim ops whose intended start falls before this offset")
+	flag.IntVar(&o.workers, "workers", 16, "issuing goroutines")
+	flag.Int64Var(&o.seed, "seed", 7, "seed for the schedule and work draws")
+	flag.StringVar(&o.instances, "instances", "", "per-stage instance counts, e.g. 1,1,2 (default: 1 each)")
+	flag.IntVar(&o.level, "level", int(cmp.MidLevel), "initial DVFS level for every instance")
+	flag.IntVar(&o.cores, "cores", 16, "chip size")
+	flag.Float64Var(&o.budget, "budget", 0, "power budget in watts (0: derived from the initial configuration)")
+	flag.Float64Var(&o.timescale, "timescale", 1, "live/dist wall compression: wall = virtual × timescale")
+	flag.StringVar(&o.addrs, "addrs", "", "dist: connect to these stage services instead of self-hosting")
+	flag.StringVar(&o.jsonOut, "json", "", "write the JSON summary here (\"-\" for stdout)")
+	flag.StringVar(&o.metrics, "metrics.addr", "", "serve /metrics with the in-flight benchmark series")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	a, err := app.ByName(o.appName)
+	if err != nil {
+		return err
+	}
+	instances, err := parseInstances(o.instances, len(a.Stages))
+	if err != nil {
+		return err
+	}
+	level := cmp.Level(o.level)
+	if !level.Valid() {
+		return fmt.Errorf("invalid level %d (0..%d)", o.level, int(cmp.MaxLevel))
+	}
+	rates := []float64{o.rate}
+	if o.sweep != "" {
+		if rates, err = parseRates(o.sweep); err != nil {
+			return err
+		}
+	}
+
+	var reg *telemetry.Registry
+	if o.metrics != "" {
+		if len(rates) > 1 {
+			return fmt.Errorf("-metrics.addr supports single-rate runs (sweep runs share metric names)")
+		}
+		reg = telemetry.NewRegistry()
+		go func() {
+			srv := &http.Server{Addr: o.metrics, Handler: telemetry.Handler(reg, nil, nil)}
+			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "powerbench: metrics server:", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", o.metrics)
+	}
+
+	// One target per rate, built fresh so sweep points are independent; runs
+	// proceed concurrently across goroutines (the §8 parallel load sweep).
+	sums := make([]loadgen.Summary, len(rates))
+	errs := make([]error, len(rates))
+	var wg sync.WaitGroup
+	for i, rate := range rates {
+		wg.Add(1)
+		go func(i int, rate float64) {
+			defer wg.Done()
+			sums[i], errs[i] = runOne(o, a, instances, level, rate, reg)
+		}(i, rate)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rate %.1f/s: %w", rates[i], err)
+		}
+	}
+	sort.Slice(sums, func(i, j int) bool { return sums[i].RateQPS < sums[j].RateQPS })
+
+	if err := loadgen.WriteTable(os.Stdout, sums...); err != nil {
+		return err
+	}
+	return writeJSON(o.jsonOut, sums)
+}
+
+// runOne builds the target for one load point and runs the benchmark.
+func runOne(o options, a app.App, instances []int, level cmp.Level, rate float64, reg *telemetry.Registry) (loadgen.Summary, error) {
+	target, err := buildTarget(o, a, instances, level)
+	if err != nil {
+		return loadgen.Summary{}, err
+	}
+	defer target.Close()
+
+	sched, err := loadgen.ParseSchedule(o.arrivals, rate, o.seed)
+	if err != nil {
+		return loadgen.Summary{}, err
+	}
+	rngBranches := make([]int, len(instances))
+	copy(rngBranches, instances)
+	res, err := loadgen.Run(target, loadgen.Options{
+		Schedule: sched,
+		Duration: o.duration,
+		Warmup:   o.warmup,
+		Workers:  o.workers,
+		Seed:     o.seed,
+		DrawWork: func(rng *rand.Rand) [][]time.Duration { return a.DrawWork(rng, rngBranches) },
+		Metrics:  reg,
+	})
+	if err != nil {
+		return loadgen.Summary{}, err
+	}
+	return loadgen.Summarize(res), nil
+}
+
+// buildTarget assembles the engine named by -target.
+func buildTarget(o options, a app.App, instances []int, level cmp.Level) (loadgen.Target, error) {
+	switch o.target {
+	case "live":
+		cluster, err := newLiveCluster(o, a, instances, level)
+		if err != nil {
+			return nil, err
+		}
+		return loadgen.NewLiveTarget(cluster), nil
+
+	case "des":
+		eng := sim.NewEngine()
+		model := cmp.DefaultModel()
+		specs, err := a.Specs(instances, level)
+		if err != nil {
+			return nil, err
+		}
+		chip := cmp.NewChip(o.cores, model, budgetFor(o, model, instances, level))
+		sys, err := stage.NewSystem(eng, chip, specs)
+		if err != nil {
+			return nil, err
+		}
+		return loadgen.NewDESTarget(sys), nil
+
+	case "dist":
+		return newDistTarget(o, a, instances, level)
+
+	default:
+		return nil, fmt.Errorf("unknown target %q (want live, des or dist)", o.target)
+	}
+}
+
+func budgetFor(o options, model cmp.PowerModel, instances []int, level cmp.Level) cmp.Watts {
+	if o.budget > 0 {
+		return cmp.Watts(o.budget)
+	}
+	var b cmp.Watts
+	for _, n := range instances {
+		b += cmp.Watts(n) * model.Power(level)
+	}
+	return b
+}
+
+func newLiveCluster(o options, a app.App, instances []int, level cmp.Level) (*live.Cluster, error) {
+	model := cmp.DefaultModel()
+	specs := make([]live.StageSpec, len(a.Stages))
+	for i, sp := range a.Stages {
+		specs[i] = live.StageSpec{
+			Name:      sp.Name,
+			Kind:      sp.Kind,
+			Profile:   sp.Profile(),
+			Instances: instances[i],
+			Level:     level,
+		}
+	}
+	return live.NewCluster(live.Options{
+		Cores:     o.cores,
+		Model:     model,
+		Budget:    budgetFor(o, model, instances, level),
+		TimeScale: o.timescale,
+	}, specs)
+}
+
+// newDistTarget connects to -addrs, or self-hosts one stage service per
+// application stage on loopback TCP — the examples/distributed topology.
+func newDistTarget(o options, a app.App, instances []int, level cmp.Level) (loadgen.Target, error) {
+	var addrs []string
+	var owned []*dist.StageService
+	if o.addrs != "" {
+		addrs = strings.Split(o.addrs, ",")
+	} else {
+		for i, sp := range a.Stages {
+			svc, err := dist.NewStageService(dist.StageOptions{
+				Name:      sp.Name,
+				Kind:      sp.Kind,
+				MemBound:  sp.MemBound,
+				Instances: instances[i],
+				Level:     level,
+				Cores:     o.cores,
+				TimeScale: o.timescale,
+			})
+			if err != nil {
+				closeAll(owned)
+				return nil, err
+			}
+			owned = append(owned, svc)
+			addr, err := svc.Listen("127.0.0.1:0")
+			if err != nil {
+				closeAll(owned)
+				return nil, err
+			}
+			addrs = append(addrs, addr)
+		}
+	}
+	model := cmp.DefaultModel()
+	budget := budgetFor(o, model, instances, level)
+	center, err := dist.NewCenter(budget, 25*time.Second, addrs)
+	if err != nil {
+		closeAll(owned)
+		return nil, err
+	}
+	t := loadgen.NewDistTarget(center)
+	t.OwnsCenter = true
+	return &distDeployment{DistTarget: t, services: owned}, nil
+}
+
+// distDeployment tears the self-hosted stage services down with the target.
+type distDeployment struct {
+	*loadgen.DistTarget
+	services []*dist.StageService
+}
+
+func (d *distDeployment) Close() error {
+	err := d.DistTarget.Close()
+	closeAll(d.services)
+	return err
+}
+
+func closeAll(svcs []*dist.StageService) {
+	for _, svc := range svcs {
+		svc.Close()
+	}
+}
+
+func parseInstances(s string, stages int) ([]int, error) {
+	out := make([]int, stages)
+	for i := range out {
+		out[i] = 1
+	}
+	if s == "" {
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != stages {
+		return nil, fmt.Errorf("-instances names %d stages, application has %d", len(parts), stages)
+	}
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad instance count %q", p)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad sweep rate %q", p)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func writeJSON(path string, sums []loadgen.Summary) error {
+	if path == "" {
+		return nil
+	}
+	var v any = sums
+	if len(sums) == 1 {
+		v = sums[0]
+	}
+	payload, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(payload)
+		return err
+	}
+	return os.WriteFile(path, payload, 0o644)
+}

@@ -1,13 +1,3 @@
-// Package cmp models the power-constrained chip multiprocessor that
-// PowerChief manages: a set of cores with per-core DVFS over a discrete
-// frequency ladder, an analytic per-core power model, per-service
-// frequency-speedup profiles (the paper's "offline profiling"), and a Chip
-// that enforces a hard power budget over every allocation and DVFS action.
-//
-// The evaluation platform of the paper (Intel Xeon E5-2630v3, Haswell) is
-// simulated: 16 physical cores, frequencies adjustable from 1.2 GHz to
-// 2.4 GHz in 0.1 GHz steps with fast (sub-microsecond) transitions, and the
-// core-level power model the paper borrows from Adrenaline [22].
 package cmp
 
 import "fmt"

@@ -1,8 +1,3 @@
-// Package config embodies the paper's experiment setups — Table 2 (latency
-// mitigation under the power constraint) and Table 3 (power conservation
-// under a QoS target) — as structured, validated, JSON-serializable
-// configurations, so experiments can be described in files and reproduced
-// exactly.
 package config
 
 import (

@@ -1,0 +1,20 @@
+// Package core implements PowerChief's Command Center (Figure 5): the
+// bottleneck identifier (§4), the boosting decision engine (§5, Algorithm 1)
+// and the power reallocator (§6, Algorithm 2), together with the boosting
+// and power-conservation policies the paper evaluates against each other —
+// stage-agnostic static allocation, pure frequency boosting, pure instance
+// boosting, adaptive PowerChief, a Pegasus-style QoS power saver and the
+// stage-aware PowerChief power saver.
+//
+// The decision code acts through the narrow Instance/StageControl/System
+// interfaces below, so the identical policies drive the discrete-event
+// engine, the live goroutine engine and the distributed RPC prototype.
+//
+// Entry points: NewAggregator turns query-carried latency records into the
+// windowed per-instance statistics of §4.2; NewPowerChief, NewFreqBoost,
+// NewInstBoost, NewPegasus and NewPowerChiefSaver construct the policies; a
+// Policy's Adjust runs once per control interval against a System view.
+// EstimateInstBoost and EstimateFreqBoost are the paper's Equation 2/3
+// speedup predictions that Algorithm 1 compares. ARCHITECTURE.md diagrams
+// how the Command Center sits between the engines and the chip model.
+package core

@@ -1,13 +1,3 @@
-// Package dist implements the distributed real-system prototype (§7 of the
-// paper): each processing stage runs as its own process hosting a pool of
-// service instances, and a Command Center process dispatches queries through
-// the stages over RPC, collects the query-carried latency records, and
-// drives the control policy — DVFS, instance boosting and withdraw — against
-// the remote stages, all under a global power budget it owns.
-//
-// The transport is internal/rpc (the Thrift stand-in). Stage services use
-// the live engine with a single stage each, so the service model is the same
-// one the simulator and the in-process live cluster run.
 package dist
 
 import (

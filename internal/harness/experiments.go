@@ -79,21 +79,29 @@ func mitigationPolicies() []struct {
 	}
 }
 
-// improvementFigure runs baseline + policies at each load level.
+// improvementFigure runs baseline + policies at each load level. All
+// (load, policy) scenarios execute concurrently via RunAll; each scenario
+// seeds its own engine, so the bars are identical to a sequential run.
 func improvementFigure(id, title string, a app.App, loads []workload.Level, seed int64) (*Figure, error) {
-	fig := &Figure{ID: id, Title: title}
+	policies := mitigationPolicies()
+	perLoad := 1 + len(policies) // baseline first, then the policies
+	var scs []Scenario
 	for _, load := range loads {
-		base, err := Run(mitigationScenario(a, fmt.Sprintf("%s-%s-baseline", a.Name, load), load, nil, seed))
-		if err != nil {
-			return nil, err
+		scs = append(scs, mitigationScenario(a, fmt.Sprintf("%s-%s-baseline", a.Name, load), load, nil, seed))
+		for _, p := range policies {
+			scs = append(scs, mitigationScenario(a, fmt.Sprintf("%s-%s-%s", a.Name, load, p.Label), load, p.New, seed))
 		}
+	}
+	results, err := RunAll(scs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: id, Title: title}
+	for li, load := range loads {
+		base := results[li*perLoad]
 		group := BarGroup{Label: fmt.Sprintf("%s load", load)}
-		for _, p := range mitigationPolicies() {
-			res, err := Run(mitigationScenario(a, fmt.Sprintf("%s-%s-%s", a.Name, load, p.Label), load, p.New, seed))
-			if err != nil {
-				return nil, err
-			}
-			avg, p99 := Improvement(base, res)
+		for pi, p := range policies {
+			avg, p99 := Improvement(base, results[li*perLoad+1+pi])
 			group.Bars = append(group.Bars, Bar{Label: p.Label, Avg: avg, P99: p99})
 		}
 		fig.Groups = append(fig.Groups, group)
@@ -122,26 +130,33 @@ func Figure12(seed int64) (*Figure, error) {
 // load (serving-dominated), instance boosting wins under high load
 // (queuing-dominated).
 func Figure4(seed int64) (*Figure, error) {
-	fig := &Figure{ID: "figure4", Title: "Freq vs Inst boosting for Sirius (improvement over baseline)"}
 	cfg := core.DefaultConfig()
-	for _, load := range []workload.Level{workload.Low, workload.High} {
-		base, err := Run(mitigationScenario(app.Sirius(), fmt.Sprintf("fig4-%s-baseline", load), load, nil, seed))
-		if err != nil {
-			return nil, err
+	loads := []workload.Level{workload.Low, workload.High}
+	policies := []struct {
+		Label string
+		New   func() core.Policy
+	}{
+		{"Freq-Boosting", func() core.Policy { return core.NewFreqBoost(cfg) }},
+		{"Inst-Boosting", func() core.Policy { return core.NewInstBoost(cfg) }},
+	}
+	perLoad := 1 + len(policies)
+	var scs []Scenario
+	for _, load := range loads {
+		scs = append(scs, mitigationScenario(app.Sirius(), fmt.Sprintf("fig4-%s-baseline", load), load, nil, seed))
+		for _, p := range policies {
+			scs = append(scs, mitigationScenario(app.Sirius(), fmt.Sprintf("fig4-%s-%s", load, p.Label), load, p.New, seed))
 		}
+	}
+	results, err := RunAll(scs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: "figure4", Title: "Freq vs Inst boosting for Sirius (improvement over baseline)"}
+	for li, load := range loads {
+		base := results[li*perLoad]
 		group := BarGroup{Label: fmt.Sprintf("%s load", load)}
-		for _, p := range []struct {
-			Label string
-			New   func() core.Policy
-		}{
-			{"Freq-Boosting", func() core.Policy { return core.NewFreqBoost(cfg) }},
-			{"Inst-Boosting", func() core.Policy { return core.NewInstBoost(cfg) }},
-		} {
-			res, err := Run(mitigationScenario(app.Sirius(), fmt.Sprintf("fig4-%s-%s", load, p.Label), load, p.New, seed))
-			if err != nil {
-				return nil, err
-			}
-			avg, p99 := Improvement(base, res)
+		for pi, p := range policies {
+			avg, p99 := Improvement(base, results[li*perLoad+1+pi])
 			group.Bars = append(group.Bars, Bar{Label: p.Label, Avg: avg, P99: p99})
 		}
 		fig.Groups = append(fig.Groups, group)
@@ -172,8 +187,8 @@ func Figure2(seed int64) (*Figure2Result, error) {
 	const freqBoosted = cmp.Level(9) // 2.1 GHz
 	const instBoosted = cmp.Level(3) // 1.5 GHz ×2 instances
 
-	run := func(name string, instances []int, levels []cmp.Level) (*Result, error) {
-		return Run(Scenario{
+	scenario := func(name string, instances []int, levels []cmp.Level) Scenario {
+		return Scenario{
 			Name:        name,
 			App:         a,
 			Instances:   instances,
@@ -186,38 +201,36 @@ func Figure2(seed int64) (*Figure2Result, error) {
 			RefLevel:     cmp.MidLevel,
 			Duration:     900 * time.Second,
 			Seed:         seed,
-		})
+		}
 	}
 
-	base, err := run("fig2-baseline", []int{1, 1, 1}, nil)
-	if err != nil {
-		return nil, err
-	}
-	out := &Figure2Result{Rows: []Figure2Row{{Label: "Baseline (stage-agnostic)", Normalized: 1.0}}}
+	// Baseline first, then the six static boosting configurations — all
+	// run concurrently.
+	scs := []Scenario{scenario("fig2-baseline", []int{1, 1, 1}, nil)}
+	labels := []string{"Baseline (stage-agnostic)"}
 	stages := []string{"ASR", "IMM", "QA"}
 	for i, stageName := range stages {
-		// Frequency boosting stage i.
 		levels := []cmp.Level{donorLevel, donorLevel, donorLevel}
 		levels[i] = freqBoosted
-		res, err := run("fig2-freq-"+stageName, []int{1, 1, 1}, levels)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, Figure2Row{
-			Label:      fmt.Sprintf("Freq-boost %s only", stageName),
-			Normalized: float64(res.Latency.Mean()) / float64(base.Latency.Mean()),
-		})
-		// Instance boosting stage i.
+		scs = append(scs, scenario("fig2-freq-"+stageName, []int{1, 1, 1}, levels))
+		labels = append(labels, fmt.Sprintf("Freq-boost %s only", stageName))
+
 		instances := []int{1, 1, 1}
 		instances[i] = 2
 		levels = []cmp.Level{donorLevel, donorLevel, donorLevel}
 		levels[i] = instBoosted
-		res, err = run("fig2-inst-"+stageName, instances, levels)
-		if err != nil {
-			return nil, err
-		}
+		scs = append(scs, scenario("fig2-inst-"+stageName, instances, levels))
+		labels = append(labels, fmt.Sprintf("Inst-boost %s only", stageName))
+	}
+	results, err := RunAll(scs)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	out := &Figure2Result{}
+	for i, res := range results {
 		out.Rows = append(out.Rows, Figure2Row{
-			Label:      fmt.Sprintf("Inst-boost %s only", stageName),
+			Label:      labels[i],
 			Normalized: float64(res.Latency.Mean()) / float64(base.Latency.Mean()),
 		})
 	}
@@ -234,19 +247,19 @@ type Figure11Result struct {
 // phased high-load trace for 900 s; the traces carry the per-instance
 // frequencies and per-stage instance counts over time.
 func Figure11(seed int64) (*Figure11Result, error) {
-	out := &Figure11Result{}
+	var scs []Scenario
 	for _, p := range mitigationPolicies() {
 		sc := mitigationScenario(app.Sirius(), "fig11-"+p.Label, workload.High, p.New, seed)
 		sc.Source = func(capacity float64) workload.Source {
 			return workload.Figure11Trace(workload.RateForUtilization(capacity, workload.High.Utilization()))
 		}
-		res, err := Run(sc)
-		if err != nil {
-			return nil, err
-		}
-		out.Runs = append(out.Runs, res)
+		scs = append(scs, sc)
 	}
-	return out, nil
+	results, err := RunAll(scs)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure11Result{Runs: results}, nil
 }
 
 // QoSRun is one policy's outcome in the power-saving experiments.
@@ -280,9 +293,9 @@ func qosExperiment(id, title string, a app.App, instances []int, qos time.Durati
 		{"pegasus", func() core.Policy { return core.NewPegasus(qos) }},
 		{"powerchief", func() core.Policy { return core.NewPowerChiefSaver(qos, cfg) }},
 	}
-	out := &QoSResult{ID: id, Title: title, QoS: qos}
+	var scs []Scenario
 	for _, p := range policies {
-		sc := Scenario{
+		scs = append(scs, Scenario{
 			Name:           id + "-" + p.Label,
 			App:            a,
 			Instances:      instances,
@@ -306,11 +319,15 @@ func qosExperiment(id, title string, a app.App, instances []int, qos time.Durati
 			},
 			Duration: duration,
 			Seed:     seed,
-		}
-		res, err := Run(sc)
-		if err != nil {
-			return nil, err
-		}
+		})
+	}
+	results, err := RunAll(scs)
+	if err != nil {
+		return nil, err
+	}
+	out := &QoSResult{ID: id, Title: title, QoS: qos}
+	for i, p := range policies {
+		res := results[i]
 		run := QoSRun{Policy: p.Label, Result: res}
 		run.PowerFraction = res.Trace.Get("power").Mean() / float64(res.PeakPower)
 		if lat := res.Trace.Get("latency"); lat != nil {

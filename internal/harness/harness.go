@@ -1,10 +1,3 @@
-// Package harness assembles full experiments: it wires an application, a
-// load source, a chip and a control policy onto the discrete-event engine,
-// runs the scenario, and collects the metrics the paper's evaluation reports
-// — end-to-end average and 99th-percentile latency, power draw over time,
-// and the runtime behaviour (instance counts and frequencies) behind the
-// figures. Every figure and table of the evaluation section has a driver in
-// experiments.go built on this runner.
 package harness
 
 import (

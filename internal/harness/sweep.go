@@ -41,6 +41,15 @@ func BudgetSweep(a app.App, load workload.Level, budgets []cmp.Watts, seed int64
 	out := &SweepResult{App: a.Name, Load: load}
 	model := cmp.DefaultModel()
 	minBudget := cmp.Watts(len(a.Stages)) * model.MinPower()
+	// Build every feasible (budget, policy) scenario up front, then fan the
+	// whole grid out through RunAll — each point seeds its own engine, so
+	// the table matches a sequential sweep exactly.
+	type pointMeta struct {
+		Budget cmp.Watts
+		Policy string
+	}
+	var scs []Scenario
+	var metas []pointMeta
 	for _, b := range budgets {
 		if b < minBudget {
 			continue
@@ -62,18 +71,22 @@ func BudgetSweep(a app.App, load workload.Level, budgets []cmp.Watts, seed int64
 				continue
 			}
 			sc.Level = lvl
-			res, err := Run(sc)
-			if err != nil {
-				return nil, err
-			}
-			out.Points = append(out.Points, SweepPoint{
-				Budget:   b,
-				Policy:   p.Label,
-				Avg:      res.Latency.Mean(),
-				P99:      res.Latency.P99(),
-				AvgPower: res.AvgPower,
-			})
+			scs = append(scs, sc)
+			metas = append(metas, pointMeta{Budget: b, Policy: p.Label})
 		}
+	}
+	results, err := RunAll(scs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		out.Points = append(out.Points, SweepPoint{
+			Budget:   metas[i].Budget,
+			Policy:   metas[i].Policy,
+			Avg:      res.Latency.Mean(),
+			P99:      res.Latency.P99(),
+			AvgPower: res.AvgPower,
+		})
 	}
 	if len(out.Points) == 0 {
 		return nil, fmt.Errorf("harness: no feasible budget in the sweep")

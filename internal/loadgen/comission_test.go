@@ -1,0 +1,66 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// stalledTarget models a server in trouble: every operation takes far longer
+// than the arrival gap, so an open-loop generator accumulates a backlog.
+type stalledTarget struct {
+	stall time.Duration
+}
+
+func (s *stalledTarget) Name() string { return "stalled" }
+func (s *stalledTarget) Do(op *Op) error {
+	time.Sleep(s.stall)
+	return nil
+}
+func (s *stalledTarget) Close() error { return nil }
+
+// TestCoordinatedOmissionGuard is the regression test for the generator's
+// central honesty property. A single worker against a target that stalls
+// 20ms per op, fed at 5ms intervals, builds a backlog that grows by ~15ms
+// per arrival. Measured from each op's *intended* start (what this package
+// records), the tail must reflect that backlog — hundreds of milliseconds.
+// Measured from send time (the classic coordinated-omission mistake, kept
+// visible in the Service histogram), every op looks like a healthy ~20ms.
+//
+// If latency recording were ever switched to send-time, Latency would
+// collapse onto Service and both assertions below would fail.
+func TestCoordinatedOmissionGuard(t *testing.T) {
+	const (
+		stall = 20 * time.Millisecond
+		rate  = 200 // one arrival per 5ms
+	)
+	res, err := Run(&stalledTarget{stall: stall}, Options{
+		Schedule: ConstantRate(rate),
+		Duration: 400 * time.Millisecond, // 80 ops → ~1.6s to drain
+		Workers:  1,
+		DrawWork: unitWork(time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 80 {
+		t.Fatalf("want 80 ops, got %d", res.Completed)
+	}
+
+	latP99 := res.Latency.Quantile(0.99)
+	svcP99 := res.Service.Quantile(0.99)
+
+	// The send-time view stays near the per-op stall (scheduler jitter
+	// allowed for), blind to the queue.
+	if svcP99 > 8*stall {
+		t.Fatalf("service p99 %v implausibly high for a %v stall", svcP99, stall)
+	}
+	// The intended-start view must expose the backlog: the last arrivals
+	// wait behind dozens of stalled predecessors. A generous floor of 500ms
+	// (25× the stall) cannot be reached by send-time measurement.
+	if latP99 < 500*time.Millisecond {
+		t.Fatalf("coordinated omission: recorded p99 %v does not reflect the backlog (service p99 %v)", latP99, svcP99)
+	}
+	if latP99 < 5*svcP99 {
+		t.Fatalf("intended-start p99 %v not inflated over send-time p99 %v", latP99, svcP99)
+	}
+}

@@ -1,0 +1,375 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"powerchief/internal/query"
+	"powerchief/internal/stats"
+	"powerchief/internal/telemetry"
+)
+
+// Op is one benchmark operation: a query's per-stage work plus the virtual
+// offset at which the schedule intends it to start. Targets receive the Op,
+// execute the query to completion, and may report a latency measured in
+// their own clock domain via Measured.
+type Op struct {
+	// ID is the 1-based operation index, usable as a query ID.
+	ID query.ID
+	// Intended is the schedule's start offset from the run origin. Latency
+	// is measured from this point, never from the moment a worker actually
+	// issued the operation — the coordinated-omission guard.
+	Intended time.Duration
+	// Work is the per-stage service demand of the query.
+	Work [][]time.Duration
+	// Measured, when set by the target, overrides the runner's wall-clock
+	// measurement. Targets that complete operations in their own clock
+	// domain — the discrete-event engine — report the virtual
+	// intended-start-to-completion latency here.
+	Measured time.Duration
+}
+
+// Target is anything the generator can drive: the in-process live engine,
+// the discrete-event engine, the distributed runtime, or a test stub. Do
+// executes one operation to completion and must be safe for concurrent use;
+// errors are counted per run, not retried (retry belongs to the target — the
+// dist target reuses the rpc client's deadline/retry machinery).
+type Target interface {
+	// Name identifies the target in summaries ("live", "des", "dist").
+	Name() string
+	// Do executes op to completion.
+	Do(op *Op) error
+	// Close releases the target's resources.
+	Close() error
+}
+
+// Preparer is an optional Target extension: targets that want the full
+// schedule before the first Do — the DES target pre-schedules every arrival
+// as a virtual-time event so queries overlap exactly as the schedule
+// dictates — implement it. Run calls Prepare once, before dispatch starts.
+type Preparer interface {
+	Prepare(ops []*Op) error
+}
+
+// SelfPacing is an optional Target extension for targets that embed the
+// schedule in their own clock domain (the DES, whose Prepare turns every
+// arrival into a virtual-time event). The runner then releases operations as
+// fast as workers drain them instead of pacing in wall time — the run
+// finishes in however long the simulation takes, and throughput is reported
+// against the schedule horizon rather than the wall clock.
+type SelfPacing interface {
+	SelfPacing() bool
+}
+
+// Options configures one benchmark run.
+type Options struct {
+	// Schedule is the arrival plan (required).
+	Schedule Schedule
+	// Duration is the generation horizon (required). Arrivals stop at the
+	// horizon; the run then drains in-flight operations.
+	Duration time.Duration
+	// Warmup trims operations whose intended start falls before this offset
+	// from the recorded distributions (they still execute, warming queues
+	// and caches).
+	Warmup time.Duration
+	// Workers is the number of issuing goroutines (default 16). Workers cap
+	// target concurrency only: when all are busy, operations queue inside
+	// the runner and their wait is charged to recorded latency.
+	Workers int
+	// Seed drives work drawing (and nothing else — the schedule carries its
+	// own seed).
+	Seed int64
+	// DrawWork samples the per-stage work matrix of each operation
+	// (required); app.App.DrawWork curried with the branch layout satisfies
+	// this.
+	DrawWork func(rng *rand.Rand) [][]time.Duration
+	// HistGrowth is the latency histogram bucket growth factor (default
+	// 1.05, ≤5% quantile error).
+	HistGrowth float64
+	// Metrics, when set, receives live per-run series — ops started,
+	// completed, errors, in-flight, intended rate and a p99 gauge — so a
+	// /metrics endpoint reflects the benchmark while it runs.
+	Metrics *telemetry.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 16
+	}
+	if o.HistGrowth == 0 {
+		o.HistGrowth = 1.05
+	}
+	return o
+}
+
+// Result is one run's summary.
+type Result struct {
+	Target   string
+	Schedule string
+	Rate     float64 // intended rate (ops/s)
+	Duration time.Duration
+	Warmup   time.Duration
+	Workers  int
+	Seed     int64
+
+	Issued    uint64 // operations dispatched
+	Completed uint64 // operations finished without error (post-warmup)
+	Trimmed   uint64 // operations excluded as warmup
+	Errors    uint64 // operations that returned an error
+
+	// Wall is the real elapsed time of the run, dispatch through drain.
+	Wall time.Duration
+	// SelfPaced records that the target ran the schedule in its own clock
+	// domain (see SelfPacing); latencies are then virtual and throughput is
+	// defined over the schedule horizon.
+	SelfPaced bool
+
+	// Latency is the coordinated-omission-safe distribution: intended start
+	// to completion. A stalled target inflates it with the backlog wait.
+	Latency *stats.Histogram
+	// Service is the send-time distribution: worker pickup to completion.
+	// It is blind to backlog — kept as a diagnostic precisely to show the
+	// gap coordinated omission would hide. Targets reporting Measured
+	// latencies (the DES) do not populate it.
+	Service *stats.Histogram
+}
+
+// AchievedQPS is the completed-operation throughput: over the wall time for
+// wall-paced runs, over the schedule horizon for self-paced (virtual-time)
+// runs.
+func (r *Result) AchievedQPS() float64 {
+	span := r.Wall
+	if r.SelfPaced {
+		span = r.Duration - r.Warmup
+	}
+	if span <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / span.Seconds()
+}
+
+// opQueue is an unbounded FIFO. The dispatcher must never block on slow
+// workers — blocking would let the target back-pressure the arrival process,
+// the precise failure mode an open-loop generator exists to avoid — so the
+// queue grows instead.
+type opQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ops    []*Op
+	closed bool
+}
+
+func newOpQueue() *opQueue {
+	q := &opQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *opQueue) push(op *Op) {
+	q.mu.Lock()
+	q.ops = append(q.ops, op)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *opQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pop blocks until an op is available or the queue is closed and drained.
+func (q *opQueue) pop() (*Op, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.ops) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.ops) == 0 {
+		return nil, false
+	}
+	op := q.ops[0]
+	q.ops[0] = nil
+	q.ops = q.ops[1:]
+	return op, true
+}
+
+func (q *opQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.ops)
+}
+
+// runState is the shared mutable state of one run; metrics gauges read it
+// under its lock while the run is in flight.
+type runState struct {
+	mu      sync.Mutex
+	res     *Result
+	started uint64
+	done    uint64
+}
+
+// Run executes one open-loop benchmark against the target: it materializes
+// the schedule, dispatches operations at their intended times across the
+// worker pool, waits for the drain, and returns the summary. The arrival
+// process never waits for the target; recorded latency runs from each
+// operation's intended start, so queueing caused by a saturated or stalled
+// target is measured, not silently omitted.
+func Run(t Target, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if t == nil {
+		return nil, fmt.Errorf("loadgen: Run needs a target")
+	}
+	if opts.Schedule == nil {
+		return nil, fmt.Errorf("loadgen: Run needs a schedule")
+	}
+	if opts.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: Run needs a positive duration")
+	}
+	if opts.Warmup < 0 || opts.Warmup >= opts.Duration {
+		return nil, fmt.Errorf("loadgen: warmup %v outside [0, %v)", opts.Warmup, opts.Duration)
+	}
+	if opts.DrawWork == nil {
+		return nil, fmt.Errorf("loadgen: Run needs a work drawer")
+	}
+
+	arrivals := opts.Schedule.Arrivals(opts.Duration)
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("loadgen: schedule yields no arrivals over %v", opts.Duration)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ops := make([]*Op, len(arrivals))
+	for i, at := range arrivals {
+		ops[i] = &Op{ID: query.ID(i + 1), Intended: at, Work: opts.DrawWork(rng)}
+	}
+	if p, ok := t.(Preparer); ok {
+		if err := p.Prepare(ops); err != nil {
+			return nil, fmt.Errorf("loadgen: preparing %s: %w", t.Name(), err)
+		}
+	}
+
+	st := &runState{res: &Result{
+		Target:   t.Name(),
+		Schedule: opts.Schedule.Name(),
+		Rate:     opts.Schedule.Rate(),
+		Duration: opts.Duration,
+		Warmup:   opts.Warmup,
+		Workers:  opts.Workers,
+		Seed:     opts.Seed,
+		Latency:  stats.NewHistogram(opts.HistGrowth),
+		Service:  stats.NewHistogram(opts.HistGrowth),
+	}}
+	queue := newOpQueue()
+	instrument(opts.Metrics, st, queue)
+
+	start := time.Now()
+
+	pace := true
+	if sp, ok := t.(SelfPacing); ok && sp.SelfPacing() {
+		pace = false
+		st.res.SelfPaced = true
+	}
+
+	// Dispatcher: release each op at its intended wall offset. It only ever
+	// sleeps against the fixed schedule — pushes cannot block — so a stalled
+	// target leaves the arrival sequence untouched. Self-paced targets carry
+	// the schedule in their own clock, so their ops are released immediately.
+	go func() {
+		for _, op := range ops {
+			if wait := op.Intended - time.Since(start); pace && wait > 0 {
+				time.Sleep(wait)
+			}
+			st.mu.Lock()
+			st.started++
+			st.res.Issued++
+			st.mu.Unlock()
+			queue.push(op)
+		}
+		queue.close()
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				op, ok := queue.pop()
+				if !ok {
+					return
+				}
+				pickup := time.Since(start)
+				err := t.Do(op)
+				complete := time.Since(start)
+				st.observe(op, pickup, complete, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.res.Wall = time.Since(start)
+	return st.res, nil
+}
+
+// observe folds one finished operation into the run summary. Latency is
+// intended-start → completion; switching it to pickup → completion would
+// reintroduce coordinated omission, and the regression test in
+// comission_test.go pins that it stays inflated under a stalled target.
+func (st *runState) observe(op *Op, pickup, complete time.Duration, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.done++
+	if err != nil {
+		st.res.Errors++
+		return
+	}
+	if op.Intended < st.res.Warmup {
+		st.res.Trimmed++
+		return
+	}
+	st.res.Completed++
+	if op.Measured > 0 {
+		st.res.Latency.Observe(op.Measured)
+		return
+	}
+	st.res.Latency.Observe(complete - op.Intended)
+	st.res.Service.Observe(complete - pickup)
+}
+
+// instrument registers the run's live series on the registry (nil-safe).
+// Registration is last-write-wins by name, so consecutive runs simply take
+// over the series.
+func instrument(reg *telemetry.Registry, st *runState, queue *opQueue) {
+	if reg == nil {
+		return
+	}
+	read := func(fn func(*Result) float64) func() float64 {
+		return func() float64 {
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			return fn(st.res)
+		}
+	}
+	reg.CounterFunc("loadgen_ops_started_total", "Operations dispatched to the target.",
+		read(func(r *Result) float64 { return float64(r.Issued) }))
+	reg.CounterFunc("loadgen_ops_completed_total", "Operations completed without error after warmup.",
+		read(func(r *Result) float64 { return float64(r.Completed) }))
+	reg.CounterFunc("loadgen_errors_total", "Operations that returned an error.",
+		read(func(r *Result) float64 { return float64(r.Errors) }))
+	reg.GaugeFunc("loadgen_backlog", "Operations released by the schedule but not yet picked up by a worker.",
+		func() float64 { return float64(queue.depth()) })
+	reg.GaugeFunc("loadgen_inflight", "Operations dispatched and not yet finished.", func() float64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return float64(st.started - st.done)
+	})
+	reg.GaugeFunc("loadgen_intended_qps", "Intended arrival rate of the running benchmark.",
+		read(func(r *Result) float64 { return r.Rate }))
+	reg.GaugeFunc("loadgen_latency_p99_seconds", "Coordinated-omission-safe p99 latency so far.",
+		read(func(r *Result) float64 { return r.Latency.Quantile(0.99).Seconds() }))
+}

@@ -1,0 +1,308 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/dist"
+	"powerchief/internal/live"
+	"powerchief/internal/sim"
+	"powerchief/internal/stage"
+	"powerchief/internal/telemetry"
+)
+
+// unitWork draws a trivial one-stage work matrix.
+func unitWork(d time.Duration) func(*rand.Rand) [][]time.Duration {
+	return func(*rand.Rand) [][]time.Duration { return [][]time.Duration{{d}} }
+}
+
+// stubTarget completes instantly, counting calls.
+type stubTarget struct {
+	calls atomic.Uint64
+	fail  bool
+}
+
+func (s *stubTarget) Name() string { return "stub" }
+func (s *stubTarget) Do(op *Op) error {
+	s.calls.Add(1)
+	if s.fail {
+		return fmt.Errorf("stub: injected failure")
+	}
+	return nil
+}
+func (s *stubTarget) Close() error { return nil }
+
+func TestConstantRateExactSpacing(t *testing.T) {
+	arr := ConstantRate(100).Arrivals(100 * time.Millisecond)
+	if len(arr) != 10 {
+		t.Fatalf("want 10 arrivals over 100ms at 100/s, got %d", len(arr))
+	}
+	for i, at := range arr {
+		want := time.Duration(float64(i) / 100 * float64(time.Second))
+		if at != want {
+			t.Fatalf("arrival %d at %v, want exactly %v", i, at, want)
+		}
+	}
+}
+
+// TestScheduleReproducible pins the determinism contract: the same
+// (schedule, seed, horizon) yields byte-identical arrival offsets, run after
+// run, and changing the seed changes the Poisson draw.
+func TestScheduleReproducible(t *testing.T) {
+	for _, sched := range []Schedule{ConstantRate(250), Poisson{QPS: 250, Seed: 42}} {
+		a := sched.Arrivals(2 * time.Second)
+		b := sched.Arrivals(2 * time.Second)
+		if len(a) == 0 || len(a) != len(b) {
+			t.Fatalf("%s: lengths differ or empty: %d vs %d", sched.Name(), len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: arrival %d differs across identical calls: %v vs %v", sched.Name(), i, a[i], b[i])
+			}
+		}
+	}
+	a := Poisson{QPS: 250, Seed: 1}.Arrivals(time.Second)
+	b := Poisson{QPS: 250, Seed: 2}.Arrivals(time.Second)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different Poisson seeds produced an identical schedule")
+	}
+}
+
+func TestRunCountsAndWarmupTrim(t *testing.T) {
+	st := &stubTarget{}
+	res, err := Run(st, Options{
+		Schedule: ConstantRate(500),
+		Duration: 200 * time.Millisecond,
+		Warmup:   100 * time.Millisecond,
+		Workers:  4,
+		DrawWork: unitWork(time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 100 {
+		t.Fatalf("want 100 issued at 500/s over 200ms, got %d", res.Issued)
+	}
+	if got := res.Completed + res.Trimmed; got != res.Issued {
+		t.Fatalf("completed %d + trimmed %d != issued %d", res.Completed, res.Trimmed, res.Issued)
+	}
+	if res.Trimmed != 50 {
+		t.Fatalf("want 50 warmup ops trimmed, got %d", res.Trimmed)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("unexpected errors: %d", res.Errors)
+	}
+	if uint64(res.Latency.Count()) != res.Completed {
+		t.Fatalf("latency histogram holds %d samples for %d completions", res.Latency.Count(), res.Completed)
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	st := &stubTarget{fail: true}
+	res, err := Run(st, Options{
+		Schedule: ConstantRate(1000),
+		Duration: 50 * time.Millisecond,
+		Workers:  4,
+		DrawWork: unitWork(time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != res.Issued || res.Errors == 0 {
+		t.Fatalf("want every op counted as an error, got %d/%d", res.Errors, res.Issued)
+	}
+	if res.Latency.Count() != 0 {
+		t.Fatal("failed ops must not contribute latency samples")
+	}
+}
+
+func TestRunPublishesMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st := &stubTarget{}
+	res, err := Run(st, Options{
+		Schedule: ConstantRate(1000),
+		Duration: 50 * time.Millisecond,
+		Workers:  4,
+		DrawWork: unitWork(time.Millisecond),
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, m := range reg.Snapshot() {
+		vals[m.Name] = m.Value
+	}
+	if got := vals["loadgen_ops_started_total"]; got != float64(res.Issued) {
+		t.Fatalf("loadgen_ops_started_total = %v, want %d", got, res.Issued)
+	}
+	if got := vals["loadgen_ops_completed_total"]; got != float64(res.Completed) {
+		t.Fatalf("loadgen_ops_completed_total = %v, want %d", got, res.Completed)
+	}
+	if got := vals["loadgen_intended_qps"]; got != 1000 {
+		t.Fatalf("loadgen_intended_qps = %v, want 1000", got)
+	}
+	if _, ok := vals["loadgen_latency_p99_seconds"]; !ok {
+		t.Fatal("missing loadgen_latency_p99_seconds gauge")
+	}
+}
+
+// newDESSystem builds a two-stage simulated pipeline for target tests.
+func newDESSystem(t *testing.T) *stage.System {
+	t.Helper()
+	eng := sim.NewEngine()
+	model := cmp.DefaultModel()
+	chip := cmp.NewChip(8, model, cmp.Watts(8)*model.MaxPower())
+	sys, err := stage.NewSystem(eng, chip, []stage.Spec{
+		{Name: "A", Kind: stage.Pipeline, Profile: cmp.NewRooflineProfile(0.2), Instances: 1, Level: cmp.MidLevel},
+		{Name: "B", Kind: stage.Pipeline, Profile: cmp.NewRooflineProfile(0.3), Instances: 1, Level: cmp.MidLevel},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func desWork(rng *rand.Rand) [][]time.Duration {
+	return [][]time.Duration{
+		{time.Duration(20+rng.Intn(20)) * time.Millisecond},
+		{time.Duration(10+rng.Intn(10)) * time.Millisecond},
+	}
+}
+
+func runDES(t *testing.T, workers int) *Result {
+	t.Helper()
+	target := NewDESTarget(newDESSystem(t))
+	defer target.Close()
+	res, err := Run(target, Options{
+		Schedule: Poisson{QPS: 10, Seed: 99},
+		Duration: 20 * time.Second, // virtual seconds — wall time is milliseconds
+		Warmup:   2 * time.Second,
+		Workers:  workers,
+		Seed:     7,
+		DrawWork: desWork,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDESTargetDeterministic pins the cross-validation property: the DES
+// target replays the schedule in virtual time, so the measured distribution
+// is identical run over run — regardless of how many wall-clock workers
+// drain it.
+func TestDESTargetDeterministic(t *testing.T) {
+	a := runDES(t, 1)
+	b := runDES(t, 8)
+	if a.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	if !a.SelfPaced {
+		t.Fatal("DES runs must be marked self-paced")
+	}
+	if a.Completed != b.Completed || a.Errors != b.Errors {
+		t.Fatalf("counts differ across runs: %d/%d vs %d/%d", a.Completed, a.Errors, b.Completed, b.Errors)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 1} {
+		if qa, qb := a.Latency.Quantile(p), b.Latency.Quantile(p); qa != qb {
+			t.Fatalf("p%v differs across identical seeded runs: %v vs %v", p*100, qa, qb)
+		}
+	}
+	if a.Latency.Mean() != b.Latency.Mean() {
+		t.Fatalf("mean differs: %v vs %v", a.Latency.Mean(), b.Latency.Mean())
+	}
+}
+
+func TestLiveTarget(t *testing.T) {
+	model := cmp.DefaultModel()
+	cluster, err := live.NewCluster(live.Options{
+		Cores:     8,
+		Model:     model,
+		Budget:    cmp.Watts(8) * model.MaxPower(),
+		TimeScale: 0.002, // 10ms of virtual work = 20µs wall
+	}, []live.StageSpec{
+		{Name: "S", Kind: stage.Pipeline, Profile: cmp.NewRooflineProfile(0.2), Instances: 2, Level: cmp.MidLevel},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := NewLiveTarget(cluster)
+	defer target.Close()
+	res, err := Run(target, Options{
+		Schedule: ConstantRate(400),
+		Duration: 250 * time.Millisecond,
+		Workers:  16,
+		DrawWork: unitWork(10 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("live run errored %d times", res.Errors)
+	}
+	if res.Completed != res.Issued {
+		t.Fatalf("completed %d of %d", res.Completed, res.Issued)
+	}
+	if res.Latency.Count() == 0 || res.Latency.Mean() <= 0 {
+		t.Fatal("live run recorded no latency")
+	}
+	if res.Service.Count() == 0 {
+		t.Fatal("wall-paced runs must populate the service histogram")
+	}
+}
+
+func TestDistTarget(t *testing.T) {
+	svc, err := dist.NewStageService(dist.StageOptions{
+		Name: "S", Kind: stage.Pipeline, MemBound: 0.2,
+		Instances: 2, Level: cmp.MidLevel, TimeScale: 0.002,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	center, err := dist.NewCenter(100, time.Second, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := NewDistTarget(center)
+	target.OwnsCenter = true
+	defer target.Close()
+
+	res, err := Run(target, Options{
+		Schedule: ConstantRate(200),
+		Duration: 250 * time.Millisecond,
+		Workers:  16,
+		DrawWork: unitWork(10 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no completions against the dist target")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("dist run errored %d times", res.Errors)
+	}
+	sub, comp := center.Counts()
+	if sub != uint64(res.Issued) || comp != sub {
+		t.Fatalf("center saw %d/%d, loadgen issued %d", comp, sub, res.Issued)
+	}
+}

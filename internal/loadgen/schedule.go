@@ -1,0 +1,109 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Schedule is a fixed open-loop arrival plan: the intended start offset of
+// every operation within a run, decided before the run begins and never
+// influenced by how the target responds. Fixing the schedule up front is
+// what makes the generator open-loop — a slow target cannot slow the
+// arrival process down, it can only accumulate a backlog whose wait shows
+// up in the recorded latency (see DESIGN.md §5e on coordinated omission).
+//
+// Arrivals must be deterministic: two calls with the same horizon return
+// identical offsets, so a (schedule, seed) pair names a reproducible run.
+type Schedule interface {
+	// Name identifies the arrival process in summaries ("constant",
+	// "poisson").
+	Name() string
+	// Rate is the long-run intended arrival rate in operations per second.
+	Rate() float64
+	// Arrivals returns every intended start offset in [0, horizon),
+	// ascending.
+	Arrivals(horizon time.Duration) []time.Duration
+}
+
+// ConstantRate schedules arrivals at exact 1/rate spacing, starting at
+// offset zero. The value is the rate in operations per second.
+type ConstantRate float64
+
+// Name implements Schedule.
+func (c ConstantRate) Name() string { return "constant" }
+
+// Rate implements Schedule.
+func (c ConstantRate) Rate() float64 { return float64(c) }
+
+// Arrivals implements Schedule. Offsets are computed as i/rate from the
+// origin rather than by accumulating a per-gap delta, so rounding error
+// does not drift across long runs: the k-th arrival is exactly k/rate
+// regardless of horizon.
+func (c ConstantRate) Arrivals(horizon time.Duration) []time.Duration {
+	if c <= 0 || horizon <= 0 {
+		return nil
+	}
+	n := int(float64(c) * horizon.Seconds())
+	out := make([]time.Duration, 0, n+1)
+	for i := 0; ; i++ {
+		at := time.Duration(float64(i) / float64(c) * float64(time.Second))
+		if at >= horizon {
+			break
+		}
+		out = append(out, at)
+	}
+	return out
+}
+
+// Poisson schedules arrivals as a homogeneous Poisson process: gaps drawn
+// from an exponential distribution with the given mean rate, using a
+// dedicated generator seeded with Seed so the schedule is exactly
+// reproducible and independent of the work-drawing randomness.
+type Poisson struct {
+	QPS  float64
+	Seed int64
+}
+
+// Name implements Schedule.
+func (p Poisson) Name() string { return "poisson" }
+
+// Rate implements Schedule.
+func (p Poisson) Rate() float64 { return p.QPS }
+
+// Arrivals implements Schedule.
+func (p Poisson) Arrivals(horizon time.Duration) []time.Duration {
+	if p.QPS <= 0 || horizon <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	var out []time.Duration
+	at := time.Duration(0)
+	for {
+		gap := time.Duration(rng.ExpFloat64() / p.QPS * float64(time.Second))
+		if gap <= 0 {
+			gap = time.Nanosecond
+		}
+		at += gap
+		if at >= horizon {
+			return out
+		}
+		out = append(out, at)
+	}
+}
+
+// ParseSchedule builds a schedule from its flag name ("constant" or
+// "poisson"), rate and seed.
+func ParseSchedule(name string, rate float64, seed int64) (Schedule, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("loadgen: rate must be positive, got %v", rate)
+	}
+	switch name {
+	case "constant":
+		return ConstantRate(rate), nil
+	case "poisson":
+		return Poisson{QPS: rate, Seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q (want constant or poisson)", name)
+	}
+}

@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// Summary is the JSON-serializable digest of one run — the shape
+// cmd/powerbench writes with -json and CI uploads as an artifact.
+type Summary struct {
+	Target    string  `json:"target"`
+	Schedule  string  `json:"schedule"`
+	RateQPS   float64 `json:"rate_qps"`
+	Duration  string  `json:"duration"`
+	Warmup    string  `json:"warmup,omitempty"`
+	Workers   int     `json:"workers"`
+	Seed      int64   `json:"seed"`
+	SelfPaced bool    `json:"self_paced,omitempty"`
+
+	Issued    uint64 `json:"issued"`
+	Completed uint64 `json:"completed"`
+	Trimmed   uint64 `json:"trimmed,omitempty"`
+	Errors    uint64 `json:"errors"`
+
+	WallMS      float64 `json:"wall_ms"`
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	// Latency percentiles are the coordinated-omission-safe
+	// intended-start-to-completion distribution, in milliseconds.
+	LatencyMS Quantiles `json:"latency_ms"`
+	// ServiceMS is the send-time (pickup-to-completion) diagnostic
+	// distribution; absent for self-paced targets.
+	ServiceMS *Quantiles `json:"service_ms,omitempty"`
+}
+
+// Quantiles summarizes one latency distribution in milliseconds.
+type Quantiles struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Summarize digests a result.
+func Summarize(r *Result) Summary {
+	s := Summary{
+		Target:      r.Target,
+		Schedule:    r.Schedule,
+		RateQPS:     r.Rate,
+		Duration:    r.Duration.String(),
+		Workers:     r.Workers,
+		Seed:        r.Seed,
+		SelfPaced:   r.SelfPaced,
+		Issued:      r.Issued,
+		Completed:   r.Completed,
+		Trimmed:     r.Trimmed,
+		Errors:      r.Errors,
+		WallMS:      ms(r.Wall),
+		AchievedQPS: r.AchievedQPS(),
+		LatencyMS:   quantilesOf(r.Latency),
+	}
+	if r.Warmup > 0 {
+		s.Warmup = r.Warmup.String()
+	}
+	if r.Service.Count() > 0 {
+		q := quantilesOf(r.Service)
+		s.ServiceMS = &q
+	}
+	return s
+}
+
+func quantilesOf(h interface {
+	Mean() time.Duration
+	Quantile(float64) time.Duration
+	Max() time.Duration
+}) Quantiles {
+	return Quantiles{
+		Mean: ms(h.Mean()),
+		P50:  ms(h.Quantile(0.50)),
+		P90:  ms(h.Quantile(0.90)),
+		P99:  ms(h.Quantile(0.99)),
+		P999: ms(h.Quantile(0.999)),
+		Max:  ms(h.Max()),
+	}
+}
+
+// WriteTable renders one or more summaries as a human-readable table; rows
+// share the header, so a sweep prints as one block.
+func WriteTable(w io.Writer, sums ...Summary) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "target\tsched\trate\tachieved\tops\terrs\tmean\tp50\tp99\tp99.9\tmax")
+	for _, s := range sums {
+		fmt.Fprintf(tw, "%s\t%s\t%.1f/s\t%.1f/s\t%d\t%d\t%.1fms\t%.1fms\t%.1fms\t%.1fms\t%.1fms\n",
+			s.Target, s.Schedule, s.RateQPS, s.AchievedQPS,
+			s.Completed, s.Errors,
+			s.LatencyMS.Mean, s.LatencyMS.P50, s.LatencyMS.P99, s.LatencyMS.P999, s.LatencyMS.Max)
+	}
+	return tw.Flush()
+}

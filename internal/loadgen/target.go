@@ -1,0 +1,178 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"powerchief/internal/dist"
+	"powerchief/internal/live"
+	"powerchief/internal/query"
+	"powerchief/internal/sim"
+	"powerchief/internal/stage"
+)
+
+// LiveTarget drives the in-process live engine: each Do submits a query into
+// the cluster's first stage and blocks until the completion callback fires.
+// Latency is measured by the runner in wall-clock time, so the cluster
+// should usually run at TimeScale 1 for honest numbers (compressed scales
+// shrink wall latencies by the same factor).
+type LiveTarget struct {
+	cluster *live.Cluster
+
+	mu      sync.Mutex
+	waiters map[query.ID]chan struct{}
+}
+
+// NewLiveTarget wraps a running cluster. The target registers a completion
+// callback; the caller keeps ownership of the cluster (Close stops it).
+func NewLiveTarget(c *live.Cluster) *LiveTarget {
+	t := &LiveTarget{cluster: c, waiters: make(map[query.ID]chan struct{})}
+	c.OnComplete(func(q *query.Query) {
+		t.mu.Lock()
+		ch := t.waiters[q.ID]
+		delete(t.waiters, q.ID)
+		t.mu.Unlock()
+		if ch != nil {
+			close(ch)
+		}
+	})
+	return t
+}
+
+// Name implements Target.
+func (t *LiveTarget) Name() string { return "live" }
+
+// Do implements Target.
+func (t *LiveTarget) Do(op *Op) error {
+	q := query.New(op.ID, t.cluster.Now(), op.Work)
+	ch := make(chan struct{})
+	t.mu.Lock()
+	if _, dup := t.waiters[op.ID]; dup {
+		t.mu.Unlock()
+		return fmt.Errorf("loadgen: duplicate in-flight op %d", op.ID)
+	}
+	t.waiters[op.ID] = ch
+	t.mu.Unlock()
+	if err := t.cluster.Submit(q); err != nil {
+		t.mu.Lock()
+		delete(t.waiters, op.ID)
+		t.mu.Unlock()
+		return err
+	}
+	<-ch
+	return nil
+}
+
+// Close implements Target, stopping the cluster.
+func (t *LiveTarget) Close() error {
+	t.cluster.Close()
+	return nil
+}
+
+// DESTarget drives the discrete-event engine, cross-validating the live and
+// distributed paths against the reproducible simulator. It implements
+// Preparer: every arrival is pre-scheduled as a virtual-time event at its
+// intended offset (one wall second of schedule is one virtual second), so
+// queries overlap in the simulation exactly as the schedule dictates no
+// matter how runner workers interleave. Do then advances the engine until
+// its operation completes and reports the virtual
+// intended-start-to-completion latency through Op.Measured — the same
+// coordinated-omission-safe quantity the wall-clock path records.
+type DESTarget struct {
+	mu   sync.Mutex
+	eng  *sim.Engine
+	sys  *stage.System
+	done map[query.ID]time.Duration
+}
+
+// NewDESTarget wraps a simulated system. The engine must not be run by
+// anyone else during the benchmark.
+func NewDESTarget(sys *stage.System) *DESTarget {
+	t := &DESTarget{eng: sys.Engine(), sys: sys, done: make(map[query.ID]time.Duration)}
+	sys.OnComplete(func(q *query.Query) {
+		t.done[q.ID] = q.Done // runs inside engine steps, under t.mu
+	})
+	return t
+}
+
+// Name implements Target.
+func (t *DESTarget) Name() string { return "des" }
+
+// SelfPacing implements SelfPacing: the schedule lives in virtual time.
+func (t *DESTarget) SelfPacing() bool { return true }
+
+// Prepare implements Preparer: schedule every arrival in virtual time.
+func (t *DESTarget) Prepare(ops []*Op) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, op := range ops {
+		op := op
+		t.eng.ScheduleAt(op.Intended, func() {
+			t.sys.Submit(query.New(op.ID, t.eng.Now(), op.Work))
+		})
+	}
+	return nil
+}
+
+// Do implements Target: step the engine until this operation's query has
+// left the pipeline. Steps executed on behalf of one operation naturally
+// complete others; their Do calls then return immediately.
+func (t *DESTarget) Do(op *Op) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if done, ok := t.done[op.ID]; ok {
+			delete(t.done, op.ID)
+			op.Measured = done - op.Intended
+			return nil
+		}
+		if !t.eng.Step() {
+			return fmt.Errorf("loadgen: engine exhausted before op %d completed", op.ID)
+		}
+	}
+}
+
+// Close implements Target. The engine needs no teardown.
+func (t *DESTarget) Close() error { return nil }
+
+// DistTarget drives the distributed runtime through a Command Center: each
+// Do dispatches the query through the remote stage services over RPC. The
+// center's client already enforces per-call deadlines and retries (PR 1), so
+// a hung or dead stage surfaces as a counted error instead of a stuck
+// worker.
+type DistTarget struct {
+	center *dist.Center
+	// OwnsCenter makes Close tear the center down (set when the target
+	// built the deployment itself).
+	OwnsCenter bool
+}
+
+// NewDistTarget wraps a connected Command Center.
+func NewDistTarget(c *dist.Center) *DistTarget { return &DistTarget{center: c} }
+
+// Name implements Target.
+func (t *DistTarget) Name() string { return "dist" }
+
+// Do implements Target.
+func (t *DistTarget) Do(op *Op) error {
+	_, err := t.center.Submit(op.Work)
+	return err
+}
+
+// Close implements Target.
+func (t *DistTarget) Close() error {
+	if t.OwnsCenter {
+		t.center.Close()
+	}
+	return nil
+}
+
+// Interface conformance.
+var (
+	_ Target   = (*LiveTarget)(nil)
+	_ Target     = (*DESTarget)(nil)
+	_ Preparer   = (*DESTarget)(nil)
+	_ SelfPacing = (*DESTarget)(nil)
+	_ Target   = (*DistTarget)(nil)
+)

@@ -1,0 +1,13 @@
+// Package query implements the extended query data structure of the paper's
+// service/query joint design (§4.1, Figure 6): as a query walks through the
+// processing stages, every service instance appends a latency record
+// (instance signature, queuing time, serving time) to the query itself. After
+// the last stage the accumulated records are delivered to the Command Center,
+// which aggregates them into per-instance latency statistics — no global
+// clock synchronization, no kernel support.
+//
+// Entry points: New builds a query around its work matrix (one row per
+// stage, one column per fan-out branch); Append accumulates a Record per
+// visited instance; CriticalPath and the record accessors are what
+// core.Aggregator and the telemetry tracer consume downstream.
+package query

@@ -1,10 +1,3 @@
-// Package query implements the extended query data structure of the paper's
-// service/query joint design (§4.1, Figure 6): as a query walks through the
-// processing stages, every service instance appends a latency record
-// (instance signature, queuing time, serving time) to the query itself. After
-// the last stage the accumulated records are delivered to the Command Center,
-// which aggregates them into per-instance latency statistics — no global
-// clock synchronization, no kernel support.
 package query
 
 import (

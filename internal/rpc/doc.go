@@ -1,0 +1,14 @@
+// Package rpc implements the minimal RPC transport of the real-system
+// prototype — the role Apache Thrift plays in the paper (§7.1): service
+// stages and the Command Center run as separate processes and exchange
+// typed messages over TCP. Framing is a 4-byte big-endian length prefix
+// followed by a JSON document; requests are pipelined and correlated by ID,
+// so one connection serves concurrent callers.
+//
+// Entry points: NewServer registers handlers by method name; Dial returns a
+// Client whose Call enforces per-call deadlines and, with a RetryPolicy,
+// retries transient transport failures with capped exponential backoff —
+// server-side handler errors are never retried. These deadline/retry
+// semantics are what lets internal/dist turn a hung stage into a counted
+// error instead of a stuck query.
+package rpc

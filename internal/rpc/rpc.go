@@ -1,9 +1,3 @@
-// Package rpc implements the minimal RPC transport of the real-system
-// prototype — the role Apache Thrift plays in the paper (§7.1): service
-// stages and the Command Center run as separate processes and exchange
-// typed messages over TCP. Framing is a 4-byte big-endian length prefix
-// followed by a JSON document; requests are pipelined and correlated by ID,
-// so one connection serves concurrent callers.
 package rpc
 
 import (

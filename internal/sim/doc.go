@@ -1,0 +1,15 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine drives the PowerChief service model in virtual time: every
+// latency-affecting occurrence (query arrival, service completion, control
+// interval) is an Event scheduled on a binary heap keyed by virtual time.
+// Ties are broken by sequence number so runs are exactly reproducible.
+//
+// Events are cancellable and reschedulable, which the service model uses to
+// re-time an in-flight query when the core it runs on changes frequency.
+//
+// Entry points: NewEngine; Schedule/ScheduleAt place events, Every installs
+// a periodic one (control intervals), Run/RunUntil/Step advance virtual
+// time. Determinism here is what makes the figures under results/ and the
+// loadgen DES target byte-reproducible per seed.
+package sim

@@ -1,12 +1,3 @@
-// Package sim implements a deterministic discrete-event simulation engine.
-//
-// The engine drives the PowerChief service model in virtual time: every
-// latency-affecting occurrence (query arrival, service completion, control
-// interval) is an Event scheduled on a binary heap keyed by virtual time.
-// Ties are broken by sequence number so runs are exactly reproducible.
-//
-// Events are cancellable and reschedulable, which the service model uses to
-// re-time an in-flight query when the core it runs on changes frequency.
 package sim
 
 import (

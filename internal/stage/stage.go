@@ -1,14 +1,3 @@
-// Package stage implements the multi-stage service model of the paper
-// (Figure 3): an application is a pipeline of stages, each stage holds a
-// dynamic pool of service instances, each instance runs exclusively on one
-// physical core at its own DVFS level and maintains its own queue to smooth
-// load bursts. Stages can be organized as Pipeline (each query is served by
-// one instance of the stage) or FanOut (the query fans to every instance and
-// joins on the slowest — the Web Search leaf organization).
-//
-// The package provides the actuation surface that PowerChief's Command
-// Center drives: per-instance DVFS, instance boosting (clone + work
-// stealing), and instance withdraw (drain + load redirection).
 package stage
 
 import (

@@ -1,0 +1,13 @@
+// Package stats provides the latency-statistics machinery of the Command
+// Center: moving time windows over per-instance queuing/serving samples
+// (§4.2 of the paper uses a moving window to evaluate the latency metric),
+// streaming summaries with exact percentiles, utilization accounting, and
+// time-series recorders for the runtime-behaviour figures.
+//
+// Entry points: Window is the §4.2 moving window; Summary keeps every
+// sample for exact percentiles (experiment-scale); NewHistogram builds the
+// log-bucketed histogram internal/loadgen records into (bounded memory at
+// benchmark scale, quantile error set by the growth factor); TimeSeries
+// captures the traces behind the figure CSVs; Improvement computes the
+// baseline-over-policy ratios the evaluation tables report.
+package stats

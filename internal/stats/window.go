@@ -1,8 +1,3 @@
-// Package stats provides the latency-statistics machinery of the Command
-// Center: moving time windows over per-instance queuing/serving samples
-// (§4.2 of the paper uses a moving window to evaluate the latency metric),
-// streaming summaries with exact percentiles, utilization accounting, and
-// time-series recorders for the runtime-behaviour figures.
 package stats
 
 import (

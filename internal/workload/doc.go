@@ -1,0 +1,14 @@
+// Package workload generates the open-loop query load that drives the
+// experiments: Poisson arrivals at a configurable rate (the paper's load
+// generator, §8.1), piecewise-constant rate traces for the time-varying
+// runtime-behaviour experiments (Figure 11), and the three representative
+// load levels (high, medium, low) defined relative to the baseline
+// configuration's capacity.
+//
+// Entry points: Source yields inter-arrival gaps — Constant, Trace (see
+// BurstTrace and Figure11Trace), Diurnal and Replay implement it; Level and
+// RateForUtilization anchor "low/medium/high" to a configuration's measured
+// capacity. This package feeds the simulation harness in virtual time;
+// internal/loadgen is its wall-clock counterpart for benchmarking real
+// engines, and DESIGN.md §5e contrasts the two.
+package workload

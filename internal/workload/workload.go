@@ -1,9 +1,3 @@
-// Package workload generates the open-loop query load that drives the
-// experiments: Poisson arrivals at a configurable rate (the paper's load
-// generator, §8.1), piecewise-constant rate traces for the time-varying
-// runtime-behaviour experiments (Figure 11), and the three representative
-// load levels (high, medium, low) defined relative to the baseline
-// configuration's capacity.
 package workload
 
 import (
