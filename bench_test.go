@@ -12,7 +12,9 @@ package powerchief
 // EXPERIMENTS.md against the paper's.
 
 import (
+	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -293,6 +295,62 @@ func BenchmarkAggregatorIngest(b *testing.B) {
 		}
 		q.Done = clk
 		agg.Ingest(q)
+	}
+}
+
+// BenchmarkAggregatorIngestParallel measures concurrent completion ingest —
+// many instance goroutines folding completed queries into one aggregator at
+// once, the hot path of the live and distributed engines. Each worker owns a
+// disjoint instance triple (different instances complete on different
+// cores), the end-to-end latency window takes every completion, and the
+// virtual clock advances ~1ms per completion so the windows run in eviction
+// steady state.
+//
+// The pre-refactor global-lock aggregator cannot run this benchmark at all:
+// workers read the clock before reaching the lock, so reordered timestamps
+// panic the shared exact window — and its per-Add eviction shifted the
+// whole window slice (see BenchmarkAggregatorIngest: 142µs/op at the seed
+// commit). results/BENCH_aggregator.json records the before/after numbers.
+func BenchmarkAggregatorIngestParallel(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		opts core.AggregatorOptions
+	}{
+		{"exact", core.AggregatorOptions{}},
+		{"bucketed", core.AggregatorOptions{Window: core.WindowBucketed}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var clk atomic.Int64
+			agg := core.NewAggregatorOptions(25*time.Second, func() time.Duration {
+				return time.Duration(clk.Load())
+			}, bc.opts)
+			var worker atomic.Uint64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				w := worker.Add(1)
+				names := [...]string{
+					fmt.Sprintf("ASR_%d", w),
+					fmt.Sprintf("IMM_%d", w),
+					fmt.Sprintf("QA_%d", w),
+				}
+				var n uint64
+				for pb.Next() {
+					n++
+					// One worker advances the virtual clock; the rest only
+					// read it — like the wall clock the live engines use.
+					if w == 1 {
+						clk.Add(int64(time.Millisecond))
+					}
+					at := time.Duration(clk.Load())
+					q := query.New(query.ID(w<<32|n), at-time.Second, nil)
+					for _, inst := range names {
+						q.Append(query.Record{Instance: inst, QueueEnter: at - time.Second, ServeStart: at - 900*time.Millisecond, ServeEnd: at})
+					}
+					q.Done = at
+					agg.Ingest(q)
+				}
+			})
+		})
 	}
 }
 

@@ -115,6 +115,20 @@ func main() {
 		reg.CounterFunc("powerchief_decisions_total", "decision audit events recorded", func() float64 {
 			return float64(audit.LastSeq())
 		})
+		// Statistics-pipeline gauges, read from the sharded aggregator's
+		// merged moving windows (constant memory in the distributed center).
+		agg := center.Aggregator()
+		reg.GaugeFunc("powerchief_window_latency_seconds", "moving-window mean end-to-end latency", func() float64 {
+			m, _ := agg.WindowLatency()
+			return m.Seconds()
+		})
+		reg.GaugeFunc("powerchief_window_latency_p99_seconds", "moving-window p99 end-to-end latency", func() float64 {
+			p, _ := agg.WindowTail(0.99)
+			return p.Seconds()
+		})
+		reg.CounterFunc("powerchief_queries_ingested_total", "completed queries folded into the statistics windows", func() float64 {
+			return float64(agg.Ingested())
+		})
 		srv, err := telemetry.Serve(*metricsAddr, telemetry.Handler(reg, audit, tracer))
 		if err != nil {
 			fatal(err)

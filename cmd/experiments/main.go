@@ -201,11 +201,11 @@ func main() {
 		// traces, from the controller's point of view.
 		audit := telemetry.NewAuditLog(0)
 		sc := harness.Scenario{
-			Name:     "sirius-decisions",
-			App:      mustApp("sirius"),
-			Level:    cmp.MidLevel,
-			Budget:   13.56,
-			Policy:   func() core.Policy { return core.NewPowerChief(core.DefaultConfig()) },
+			Name:   "sirius-decisions",
+			App:    mustApp("sirius"),
+			Level:  cmp.MidLevel,
+			Budget: 13.56,
+			Policy: func() core.Policy { return core.NewPowerChief(core.DefaultConfig()) },
 			Source: func(capacity float64) workload.Source {
 				return workload.Constant(workload.RateForUtilization(capacity, workload.High.Utilization()))
 			},

@@ -32,6 +32,8 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -66,6 +68,8 @@ type options struct {
 	addrs     string
 	jsonOut   string
 	metrics   string
+	cpuProf   string
+	memProf   string
 }
 
 func main() {
@@ -87,12 +91,47 @@ func main() {
 	flag.StringVar(&o.addrs, "addrs", "", "dist: connect to these stage services instead of self-hosting")
 	flag.StringVar(&o.jsonOut, "json", "", "write the JSON summary here (\"-\" for stdout)")
 	flag.StringVar(&o.metrics, "metrics.addr", "", "serve /metrics with the in-flight benchmark series")
+	flag.StringVar(&o.cpuProf, "cpuprofile", "", "write a CPU profile of the whole run to this file")
+	flag.StringVar(&o.memProf, "memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	// Profiles flush in profiledRun's defers before os.Exit can fire.
+	if err := profiledRun(o); err != nil {
 		fmt.Fprintln(os.Stderr, "powerbench:", err)
 		os.Exit(1)
 	}
+}
+
+// profiledRun wraps run with the optional -cpuprofile / -memprofile capture,
+// so the hot paths (ingest, windows, loadgen) can be inspected with
+// `go tool pprof` without instrumenting a server.
+func profiledRun(o options) error {
+	if o.cpuProf != "" {
+		f, err := os.Create(o.cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.memProf != "" {
+		defer func() {
+			f, err := os.Create(o.memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "powerbench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is current
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "powerbench: -memprofile:", err)
+			}
+		}()
+	}
+	return run(o)
 }
 
 func run(o options) error {

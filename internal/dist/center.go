@@ -67,7 +67,12 @@ func NewCenterOptions(budget cmp.Watts, window time.Duration, addrs []string, op
 		opts:      opts,
 		probeStop: make(chan struct{}),
 	}
-	c.agg = core.NewAggregator(window, c.Now)
+	// The center runs against wall clocks for unbounded stretches, so the
+	// aggregator uses constant-memory bucketed windows: per-record ingest is
+	// O(1) and memory does not grow with query rate.
+	c.agg = core.NewAggregatorOptions(window, c.Now, core.AggregatorOptions{
+		Window: core.WindowBucketed,
+	})
 	for _, addr := range addrs {
 		client, err := rpc.DialOptions(addr, rpc.ClientOptions{
 			CallTimeout: opts.CallTimeout,

@@ -170,9 +170,9 @@ func (t *DistTarget) Close() error {
 
 // Interface conformance.
 var (
-	_ Target   = (*LiveTarget)(nil)
+	_ Target     = (*LiveTarget)(nil)
 	_ Target     = (*DESTarget)(nil)
 	_ Preparer   = (*DESTarget)(nil)
 	_ SelfPacing = (*DESTarget)(nil)
-	_ Target   = (*DistTarget)(nil)
+	_ Target     = (*DistTarget)(nil)
 )

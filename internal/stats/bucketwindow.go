@@ -1,0 +1,364 @@
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// binGrowth is the growth factor of the log-spaced latency bins every
+// BucketWindow shares (quantile relative error is bounded by it), matching
+// the Histogram's geometry choice.
+const binGrowth = 1.25
+
+// binBounds are the shared latency-bin upper bounds, 1µs to ~80min. Shared
+// across all BucketWindows so per-window memory is just the counters.
+var binBounds = func() []time.Duration {
+	var b []time.Duration
+	bound := float64(time.Microsecond)
+	const maxBound = float64(80 * time.Minute)
+	for bound < maxBound {
+		b = append(b, time.Duration(bound))
+		bound *= binGrowth
+	}
+	return b
+}()
+
+// binOf returns the index of the first bin whose bound is ≥ v, or -1 when v
+// exceeds every bound (the overflow bin).
+func binOf(v time.Duration) int {
+	lo, hi := 0, len(binBounds)-1
+	if v > binBounds[hi] {
+		return -1
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if binBounds[mid] >= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// timeBucket is one fixed slice of the window's span: aggregate moments plus
+// log-spaced latency bins, so the window can evict a whole bucket in O(1)
+// aggregate work and still answer quantiles from the surviving bins.
+type timeBucket struct {
+	count    uint64
+	sum      time.Duration
+	min, max time.Duration
+	overflow uint32 // samples beyond the last bin bound (quantile → max)
+	bins     []uint32
+}
+
+func (b *timeBucket) clear() {
+	if b.count == 0 {
+		return
+	}
+	b.count = 0
+	b.sum = 0
+	b.min = 0
+	b.max = 0
+	b.overflow = 0
+	for i := range b.bins {
+		b.bins[i] = 0
+	}
+}
+
+// BucketWindow is a constant-memory moving window: the span is cut into a
+// fixed number of time buckets arranged as a ring, so Add and eviction are
+// O(1) (amortized — a bucket boundary crossing retires exactly the buckets
+// that expired, and a long idle gap clears at most every bucket once) and
+// the memory footprint never grows with load, unlike Window's keep-every-
+// sample slice. The price is granularity: samples leave the window within
+// one bucket width of their exact expiry, and Percentile interpolates
+// inside log-spaced latency bins (relative error bounded by the bin growth
+// factor) instead of ranking exact samples.
+//
+// Timestamps that go backwards are clamped to the latest time seen rather
+// than panicking: the concurrent engines read the clock before reaching the
+// aggregator locks, so slight reordering is legal there.
+//
+// In steady state Add allocates nothing: every buffer is laid down at
+// construction (asserted by TestBucketWindowAddZeroAlloc).
+type BucketWindow struct {
+	span  time.Duration
+	width time.Duration // span / len(ring), rounded up
+
+	last    time.Duration
+	cur     int64 // absolute index (at/width) of the newest bucket
+	started bool
+
+	ring []timeBucket
+
+	// Live totals over the retained buckets, maintained on eviction.
+	count uint64
+	sum   time.Duration
+
+	scratch []uint64 // quantile merge scratch, len(binBounds)
+}
+
+// DefaultBuckets is the bucket count NewBucketWindow applies when the
+// caller passes zero: 32 buckets keep the eviction granularity near 3% of
+// the span.
+const DefaultBuckets = 32
+
+// NewBucketWindow creates a constant-memory moving window over span,
+// divided into the given number of time buckets (0 applies DefaultBuckets).
+func NewBucketWindow(span time.Duration, buckets int) *BucketWindow {
+	if span <= 0 {
+		panic("stats: window span must be positive")
+	}
+	if buckets <= 0 {
+		buckets = DefaultBuckets
+	}
+	if time.Duration(buckets) > span {
+		buckets = int(span) // never let a bucket be narrower than 1ns
+	}
+	w := &BucketWindow{
+		span:    span,
+		width:   (span + time.Duration(buckets) - 1) / time.Duration(buckets),
+		ring:    make([]timeBucket, buckets),
+		scratch: make([]uint64, len(binBounds)),
+	}
+	for i := range w.ring {
+		w.ring[i].bins = make([]uint32, len(binBounds))
+	}
+	return w
+}
+
+// Span returns the window length.
+func (w *BucketWindow) Span() time.Duration { return w.span }
+
+// Buckets returns the fixed bucket count.
+func (w *BucketWindow) Buckets() int { return len(w.ring) }
+
+// advance retires buckets that fall out of the window as of now and makes
+// the bucket containing now current. Returns the clamped now.
+func (w *BucketWindow) advance(now time.Duration) time.Duration {
+	if now < w.last {
+		now = w.last
+	} else {
+		w.last = now
+	}
+	abs := int64(now / w.width)
+	if !w.started {
+		w.started = true
+		w.cur = abs
+		return now
+	}
+	if abs == w.cur {
+		return now
+	}
+	n := int64(len(w.ring))
+	if abs-w.cur >= n {
+		// Idle gap longer than the span: every bucket expired. One pass
+		// over the fixed ring, not over the samples it absorbed.
+		for i := range w.ring {
+			w.ring[i].clear()
+		}
+		w.count = 0
+		w.sum = 0
+		w.cur = abs
+		return now
+	}
+	// Each slot stepped over held the bucket exactly one revolution older —
+	// the one expiring now that the window front moved past it.
+	for i := w.cur + 1; i <= abs; i++ {
+		b := &w.ring[i%n]
+		w.count -= b.count
+		w.sum -= b.sum
+		b.clear()
+	}
+	w.cur = abs
+	return now
+}
+
+// Add records a sample at virtual time at. Negative values clamp to zero;
+// backwards timestamps clamp to the latest time seen.
+func (w *BucketWindow) Add(at, value time.Duration) {
+	if value < 0 {
+		value = 0
+	}
+	at = w.advance(at)
+	b := &w.ring[(at/w.width)%time.Duration(len(w.ring))]
+	if b.count == 0 || value < b.min {
+		b.min = value
+	}
+	if value > b.max {
+		b.max = value
+	}
+	b.count++
+	b.sum += value
+	if idx := binOf(value); idx >= 0 {
+		b.bins[idx]++
+	} else {
+		b.overflow++
+	}
+	w.count++
+	w.sum += value
+}
+
+// Advance evicts buckets that have fallen out of the window as of now,
+// without adding a sample.
+func (w *BucketWindow) Advance(now time.Duration) { w.advance(now) }
+
+// Len returns the number of samples currently inside the window.
+func (w *BucketWindow) Len() int { return int(w.count) }
+
+// Sum returns the sum of the samples currently inside the window.
+func (w *BucketWindow) Sum() time.Duration { return w.sum }
+
+// Mean returns the average of the samples in the window — exact, since the
+// per-bucket sums are exact; only eviction timing is granular.
+func (w *BucketWindow) Mean() (time.Duration, bool) {
+	if w.count == 0 {
+		return 0, false
+	}
+	return w.sum / time.Duration(w.count), true
+}
+
+// MeanOr returns the window mean, or def when the window is empty.
+func (w *BucketWindow) MeanOr(def time.Duration) time.Duration {
+	if m, ok := w.Mean(); ok {
+		return m
+	}
+	return def
+}
+
+// Max returns the largest sample in the window, and false when empty.
+func (w *BucketWindow) Max() (time.Duration, bool) {
+	if w.count == 0 {
+		return 0, false
+	}
+	var max time.Duration
+	for i := range w.ring {
+		if b := &w.ring[i]; b.count > 0 && b.max > max {
+			max = b.max
+		}
+	}
+	return max, true
+}
+
+// binAccumulator merges the latency bins of one or more bucket windows so a
+// quantile can be interpolated over the union (used by Striped).
+type binAccumulator struct {
+	bins     []uint64
+	count    uint64
+	overflow uint64
+	min, max time.Duration
+}
+
+// accumulateBins folds the window's live buckets into acc, lazily sizing
+// acc's bins on first use.
+func (w *BucketWindow) accumulateBins(acc *binAccumulator) {
+	if acc.bins == nil {
+		acc.bins = make([]uint64, len(binBounds))
+	}
+	for i := range w.ring {
+		b := &w.ring[i]
+		if b.count == 0 {
+			continue
+		}
+		if acc.count == 0 || b.min < acc.min {
+			acc.min = b.min
+		}
+		if b.max > acc.max {
+			acc.max = b.max
+		}
+		acc.count += b.count
+		acc.overflow += uint64(b.overflow)
+		for j, c := range b.bins {
+			acc.bins[j] += uint64(c)
+		}
+	}
+}
+
+// quantile interpolates the p-quantile from the accumulated bins, mirroring
+// Histogram.Quantile: exact min/max at the extreme ranks, linear
+// interpolation inside the matched bin, overflow reporting the tracked max.
+func (acc *binAccumulator) quantile(p float64) (time.Duration, bool) {
+	if acc.count == 0 {
+		return 0, false
+	}
+	if p <= 0 {
+		return acc.min, true
+	}
+	if p >= 1 {
+		return acc.max, true
+	}
+	target := uint64(math.Ceil(p * float64(acc.count)))
+	if target <= 1 {
+		return acc.min, true
+	}
+	if target >= acc.count {
+		return acc.max, true
+	}
+	if target > acc.count-acc.overflow {
+		return acc.max, true
+	}
+	var cum uint64
+	for i, c := range acc.bins {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lower := time.Duration(0)
+			if i > 0 {
+				lower = binBounds[i-1]
+			}
+			upper := binBounds[i]
+			if upper > acc.max {
+				upper = acc.max
+			}
+			if lower < acc.min {
+				lower = acc.min
+			}
+			if upper < lower {
+				return lower, true
+			}
+			frac := float64(target-cum) / float64(c)
+			return lower + time.Duration(frac*float64(upper-lower)), true
+		}
+		cum += c
+	}
+	return acc.max, true
+}
+
+// Percentile estimates the p-quantile (p in [0,1]) of the samples in the
+// window from the latency bins; relative error is bounded by the bin growth
+// factor. Returns false when the window is empty.
+func (w *BucketWindow) Percentile(p float64) (time.Duration, bool) {
+	if w.count == 0 {
+		return 0, false
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	acc := binAccumulator{bins: w.scratchBins()}
+	w.accumulateBins(&acc)
+	return acc.quantile(p)
+}
+
+// scratchBins returns the preallocated, zeroed merge scratch so Percentile
+// does not allocate.
+func (w *BucketWindow) scratchBins() []uint64 {
+	for i := range w.scratch {
+		w.scratch[i] = 0
+	}
+	return w.scratch
+}
+
+// Reset discards all samples but keeps the span and time floor.
+func (w *BucketWindow) Reset() {
+	for i := range w.ring {
+		w.ring[i].clear()
+	}
+	w.count = 0
+	w.sum = 0
+	w.started = false
+}

@@ -127,6 +127,53 @@ func TestNewWindowValidates(t *testing.T) {
 	NewWindow(0)
 }
 
+// Regression: the first Add after an idle gap longer than the span used to
+// pay for every buffered sample (the seed implementation shifted the whole
+// slice on each eviction; with the head index, a naive per-sample walk would
+// still scan the dead prefix). A fully expired window must be dropped in one
+// truncation, leaving only the new sample in the backing slice.
+func TestWindowIdleGapOneTruncation(t *testing.T) {
+	w := NewWindow(10 * time.Second)
+	for i := 0; i < 5000; i++ {
+		w.Add(time.Duration(i)*time.Millisecond, time.Millisecond)
+	}
+	w.Add(time.Hour, 7*time.Millisecond) // idle gap ≫ span: everything expired
+	if w.Len() != 1 {
+		t.Fatalf("Len after idle gap = %d, want 1", w.Len())
+	}
+	if len(w.samples) != 1 || w.head != 0 {
+		t.Fatalf("backing slice not truncated: len=%d head=%d, want 1,0",
+			len(w.samples), w.head)
+	}
+	if m, ok := w.Mean(); !ok || m != 7*time.Millisecond {
+		t.Errorf("Mean after idle gap = %v,%v; want 7ms", m, ok)
+	}
+	if w.Sum() != 7*time.Millisecond {
+		t.Errorf("Sum after idle gap = %v", w.Sum())
+	}
+}
+
+// Regression: steady-state eviction must not shift the slice on every Add.
+// The head index absorbs evictions; compaction happens only when the dead
+// prefix outweighs the live samples, so each sample is copied O(1) times
+// over its lifetime.
+func TestWindowAmortizedCompaction(t *testing.T) {
+	w := NewWindow(time.Second)
+	for i := 0; i < 10000; i++ {
+		w.Add(time.Duration(i)*time.Millisecond, time.Millisecond)
+		if w.head > len(w.samples)/2 {
+			t.Fatalf("dead prefix exceeds live samples at i=%d: head=%d len=%d",
+				i, w.head, len(w.samples))
+		}
+	}
+	if got, want := w.Len(), 1001; got != want {
+		t.Fatalf("steady-state Len = %d, want %d", got, want)
+	}
+	if m, _ := w.Mean(); m != time.Millisecond {
+		t.Errorf("steady-state Mean = %v", m)
+	}
+}
+
 // Property: the window mean always equals the mean of exactly the samples
 // newer than now-span, under random arrival patterns.
 func TestPropertyWindowMeanMatchesNaive(t *testing.T) {

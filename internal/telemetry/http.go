@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 )
 
@@ -13,6 +14,14 @@ import (
 //	/metrics.json     the same registry as a JSON array
 //	/debug/trace      sampled query traces (JSON), ?limit=N for the newest N
 //	/debug/decisions  the decision audit log (JSON), ?since=SEQ for a cursor
+//	/debug/pprof/     Go runtime profiles (CPU, heap, goroutine, ...)
+//
+// The pprof endpoints are registered on this private mux (not the global
+// http.DefaultServeMux), so profiling the command center or a stage service
+// in place needs no extra wiring:
+//
+//	go tool pprof http://ADDR/debug/pprof/profile?seconds=10
+//	go tool pprof http://ADDR/debug/pprof/heap
 //
 // Any of reg, audit, tracer may be nil; the matching endpoint then serves
 // its empty form rather than 404, so dashboards can probe uniformly.
@@ -66,6 +75,11 @@ func Handler(reg *Registry, audit *AuditLog, tracer *Tracer) http.Handler {
 			Events  []Event `json:"events"`
 		}{audit.LastSeq(), audit.Dropped(), events})
 	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHandlerPprofEndpoints checks the runtime profiling endpoints are wired
+// onto the telemetry mux so a live command center or stage service can be
+// profiled in place.
+func TestHandlerPprofEndpoints(t *testing.T) {
+	h := Handler(nil, nil, nil)
+
+	resp, body := get(t, h, "/debug/pprof/")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index missing profile listing:\n%.200s", body)
+	}
+
+	resp, body = get(t, h, "/debug/pprof/heap?debug=1")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/heap status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "heap profile") {
+		t.Errorf("heap profile body unexpected:\n%.200s", body)
+	}
+
+	resp, _ = get(t, h, "/debug/pprof/cmdline")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/cmdline status = %d", resp.StatusCode)
+	}
+}

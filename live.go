@@ -66,9 +66,14 @@ func StartLiveController(c *LiveCluster, agg *Aggregator, policy Policy, interva
 }
 
 // NewAggregatorFor builds a Command Center statistics store reading the
-// cluster's clock, with the default 25 s moving window.
+// cluster's clock, with the default 25 s moving window. Live clusters run
+// unbounded, so the aggregator uses the constant-memory bucketed windows:
+// ingest stays O(1) per record and the footprint does not grow with load
+// (the DES harness keeps exact windows for deterministic reproduction).
 func NewAggregatorFor(c *LiveCluster) *Aggregator {
-	return core.NewAggregator(25*time.Second, c.Now)
+	return core.NewAggregatorOptions(25*time.Second, c.Now, core.AggregatorOptions{
+		Window: core.WindowBucketed,
+	})
 }
 
 // NewQuery creates a query carrying the given per-stage demands (one row
