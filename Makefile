@@ -30,7 +30,7 @@ test:
 # engine, and the telemetry subsystem (ring buffers + registry under
 # concurrent writers).
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/dist/... ./internal/stage/... ./internal/telemetry/...
+	$(GO) test -race ./internal/rpc/... ./internal/dist/... ./internal/stage/... ./internal/telemetry/... ./internal/controlplane/... ./internal/live/...
 
 # The full local gate: what CI runs.
 check: vet staticcheck build test race

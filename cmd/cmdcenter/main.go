@@ -137,37 +137,30 @@ func main() {
 		fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr)
 	}
 
-	ctl := mk()
-	powerchief.AttachAudit(ctl, audit)
-	stopCtl := make(chan struct{})
-	var ctlWG sync.WaitGroup
-	ctlWG.Add(1)
-	go func() {
-		defer ctlWG.Done()
-		ticker := time.NewTicker(*interval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stopCtl:
-				return
-			case <-ticker.C:
-				out, err := center.Adjust(ctl)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "adjust:", err)
-					continue
-				}
-				if out.Kind.String() != "none" {
-					fmt.Printf("[ctl] %s on %s → level %v / clone %s\n",
-						out.Kind, out.Target, out.NewLevel, out.NewInstance)
-				}
-				for _, h := range center.Healths() {
-					if h.State != dist.Healthy {
-						fmt.Printf("[health] stage %s is %s (%v)\n", h.Name, h.State, h.Err)
-					}
+	// Control loop: the shared control plane on a real-time clock, driving
+	// the center (which is itself an Adjuster) every interval. Degraded
+	// intervals — quarantined or vanished stages — are counted by the loop
+	// and reported on exit.
+	loop, err := powerchief.StartControlLoop(powerchief.WallClock(1), center, powerchief.ControlOptions{
+		Policy:   mk(),
+		Interval: *interval,
+		Audit:    audit,
+		OnOutcome: func(out powerchief.BoostOutcome) {
+			if out.Kind.String() != "none" {
+				fmt.Printf("[ctl] %s on %s → level %v / clone %s\n",
+					out.Kind, out.Target, out.NewLevel, out.NewInstance)
+			}
+			for _, h := range center.Healths() {
+				if h.State != dist.Healthy {
+					fmt.Printf("[health] stage %s is %s (%v)\n", h.Name, h.State, h.Err)
 				}
 			}
-		}
-	}()
+		},
+		OnError: func(err error) { fmt.Fprintln(os.Stderr, "adjust:", err) },
+	})
+	if err != nil {
+		fatal(err)
+	}
 
 	// Poisson open-loop load, one goroutine per in-flight query.
 	rng := rand.New(rand.NewSource(*seed))
@@ -188,8 +181,10 @@ func main() {
 		}()
 	}
 	wg.Wait()
-	close(stopCtl)
-	ctlWG.Wait()
+	loop.Stop()
+	if n, _ := loop.Errors(); n > 0 {
+		fmt.Printf("control loop: %d failed adjusts (%d degraded intervals)\n", n, loop.Degraded())
+	}
 
 	lats := center.Latencies()
 	if len(lats) == 0 {

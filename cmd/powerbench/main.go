@@ -40,8 +40,10 @@ import (
 	"sync"
 	"time"
 
+	"powerchief"
 	"powerchief/internal/app"
 	"powerchief/internal/cmp"
+	"powerchief/internal/core"
 	"powerchief/internal/dist"
 	"powerchief/internal/live"
 	"powerchief/internal/loadgen"
@@ -65,6 +67,9 @@ type options struct {
 	cores     int
 	budget    float64
 	timescale float64
+	policy    string
+	ctlEvery  time.Duration
+	qos       time.Duration
 	addrs     string
 	jsonOut   string
 	metrics   string
@@ -88,6 +93,9 @@ func main() {
 	flag.IntVar(&o.cores, "cores", 16, "chip size")
 	flag.Float64Var(&o.budget, "budget", 0, "power budget in watts (0: derived from the initial configuration)")
 	flag.Float64Var(&o.timescale, "timescale", 1, "live/dist wall compression: wall = virtual × timescale")
+	flag.StringVar(&o.policy, "policy", "", "run a control policy during the load (powerchief, freq, inst, pegasus, saver; empty: static)")
+	flag.DurationVar(&o.ctlEvery, "ctl.interval", 25*time.Second, "control interval in virtual time (with -policy)")
+	flag.DurationVar(&o.qos, "qos", 2*time.Second, "QoS target for the pegasus/saver policies")
 	flag.StringVar(&o.addrs, "addrs", "", "dist: connect to these stage services instead of self-hosting")
 	flag.StringVar(&o.jsonOut, "json", "", "write the JSON summary here (\"-\" for stdout)")
 	flag.StringVar(&o.metrics, "metrics.addr", "", "serve /metrics with the in-flight benchmark series")
@@ -202,6 +210,35 @@ func runOne(o options, a app.App, instances []int, level cmp.Level, rate float64
 		return loadgen.Summary{}, err
 	}
 	defer target.Close()
+
+	// Optional control plane: the policy adjusts the deployment while the
+	// benchmark load runs, through the target's engine-appropriate clock.
+	if o.policy != "" && o.policy != "static" {
+		mk, ok := powerchief.PolicyByName(o.policy)
+		if !ok {
+			mk, ok = powerchief.PolicyByNameQoS(o.policy, o.qos)
+		}
+		if !ok {
+			return loadgen.Summary{}, fmt.Errorf("unknown policy %q", o.policy)
+		}
+		ca, ok := target.(loadgen.ControlAttacher)
+		if !ok {
+			return loadgen.Summary{}, fmt.Errorf("target %s cannot attach a control loop", target.Name())
+		}
+		loop, err := ca.AttachControl(loadgen.ControlOptions{
+			Policy:   mk(),
+			Interval: o.ctlEvery,
+			Scale:    o.timescale,
+		})
+		if err != nil {
+			return loadgen.Summary{}, err
+		}
+		defer func() {
+			loop.Stop()
+			fmt.Printf("control[%s %.1f/s]: %d adjusts, boosts %v\n",
+				o.policy, rate, loop.Total(), boostTally(loop.Boosts()))
+		}()
+	}
 
 	sched, err := loadgen.ParseSchedule(o.arrivals, rate, o.seed)
 	if err != nil {
@@ -368,6 +405,21 @@ func parseInstances(s string, stages int) ([]int, error) {
 		out[i] = n
 	}
 	return out, nil
+}
+
+// boostTally renders the loop's per-kind decision counts in a fixed order.
+func boostTally(b map[core.BoostKind]int) string {
+	kinds := []core.BoostKind{core.BoostFrequency, core.BoostInstance, core.BoostNone}
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		if n := b[k]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
 }
 
 func parseRates(s string) ([]float64, error) {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"powerchief/internal/cmp"
+	"powerchief/internal/controlplane"
 	"powerchief/internal/core"
 	"powerchief/internal/dist"
 	"powerchief/internal/stage"
@@ -53,30 +54,20 @@ func main() {
 	}
 	defer center.Close()
 
-	// Control loop: PowerChief every 25 virtual seconds.
-	policy := core.NewPowerChief(core.DefaultConfig())
-	stopCtl := make(chan struct{})
-	var ctlWG sync.WaitGroup
-	ctlWG.Add(1)
-	go func() {
-		defer ctlWG.Done()
-		ticker := time.NewTicker(time.Duration(25 * scale * float64(time.Second)))
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stopCtl:
-				return
-			case <-ticker.C:
-				out, err := center.Adjust(policy)
-				if err != nil {
-					continue
-				}
-				if out.Kind != core.BoostNone {
-					fmt.Printf("[command center] %s on %s\n", out.Kind, out.Target)
-				}
+	// Control loop: PowerChief every 25 virtual seconds, on the shared
+	// control plane with a wall clock compressed to the stages' time scale.
+	loop, err := controlplane.Start(controlplane.WallClock(scale), center, controlplane.Options{
+		Policy:   core.NewPowerChief(core.DefaultConfig()),
+		Interval: 25 * time.Second,
+		OnOutcome: func(out core.BoostOutcome) {
+			if out.Kind != core.BoostNone {
+				fmt.Printf("[command center] %s on %s\n", out.Kind, out.Target)
 			}
-		}
-	}()
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// ~2.2 virtual qps of Sirius-like demands for 300 virtual seconds.
 	rng := rand.New(rand.NewSource(1))
@@ -100,8 +91,7 @@ func main() {
 		time.Sleep(time.Duration(rng.ExpFloat64() / 2.2 * scale * float64(time.Second)))
 	}
 	wg.Wait()
-	close(stopCtl)
-	ctlWG.Wait()
+	loop.Stop()
 
 	lats := center.Latencies()
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })

@@ -1,0 +1,88 @@
+package controlplane
+
+import (
+	"sync"
+	"time"
+
+	"powerchief/internal/sim"
+)
+
+// Clock abstracts the control loop's notion of time: virtual for the
+// discrete-event simulator, scaled wall time for the live and distributed
+// runtimes. Intervals passed to Every are in engine time; implementations
+// translate to their own cadence.
+type Clock interface {
+	// Now returns the current engine time.
+	Now() time.Duration
+	// Every invokes fn at the given engine-time interval until the returned
+	// stop function is called. Stop blocks until no invocation is in flight.
+	Every(interval time.Duration, fn func()) (stop func())
+}
+
+// SimClock drives the loop from a discrete-event engine: epochs are
+// simulator events, fired deterministically in registration order at equal
+// timestamps.
+func SimClock(eng *sim.Engine) Clock { return simClock{eng: eng} }
+
+type simClock struct{ eng *sim.Engine }
+
+func (c simClock) Now() time.Duration { return c.eng.Now() }
+
+func (c simClock) Every(interval time.Duration, fn func()) (stop func()) {
+	return c.eng.Every(interval, fn)
+}
+
+// WallClock runs engine time as wall time compressed by scale: one engine
+// second lasts scale wall seconds (scale 1 is real time, 0.01 is the
+// examples' 100× compression). Non-positive scales default to 1.
+func WallClock(scale float64) Clock {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &wallClock{scale: scale, start: time.Now()}
+}
+
+type wallClock struct {
+	scale float64
+	start time.Time
+}
+
+func (c *wallClock) Now() time.Duration {
+	return time.Duration(float64(time.Since(c.start)) / c.scale)
+}
+
+func (c *wallClock) Every(interval time.Duration, fn func()) (stop func()) {
+	wall := time.Duration(float64(interval) * c.scale)
+	return TickerEvery(wall, fn)
+}
+
+// TickerEvery runs fn on a wall-clock ticker until the returned stop
+// function is called. Stop is idempotent and waits for the loop goroutine
+// (and any in-flight fn) to exit. Sub-millisecond intervals are clamped to
+// one millisecond. Custom Clock implementations (the live cluster's
+// virtual-time clock) build their Every on top of this.
+func TickerEvery(wall time.Duration, fn func()) (stop func()) {
+	if wall <= 0 {
+		wall = time.Millisecond
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(wall)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-ticker.C:
+				fn()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(quit) })
+		<-done
+	}
+}

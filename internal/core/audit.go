@@ -88,7 +88,16 @@ func auditWithdraw(a *telemetry.AuditLog, now time.Duration, stage, victim, targ
 // recycle runs the engine's recycler and, when auditing, records the pass
 // with the per-donor level steps and watts freed. Donor levels are
 // snapshotted around the call because the recycler reports only the total.
+//
+// Against a PlanView the pass only marks a recycle span on the plan — the
+// Executor emits the grouped event once the donor steps actually apply.
 func (e Engine) recycle(sys System, model cmp.PowerModel, donors []Instance, need cmp.Watts) cmp.Watts {
+	if pv, ok := sys.(*PlanView); ok {
+		start := pv.beginRecycle()
+		recycled := e.Recycler.Recycle(model, donors, need)
+		pv.endRecycle(start, recycled)
+		return recycled
+	}
 	if !e.Audit.Enabled() {
 		return e.Recycler.Recycle(model, donors, need)
 	}

@@ -20,6 +20,7 @@ type fakeInstance struct {
 
 	setLevelCalls int
 	epochResets   int
+	setLevelErr   error // injected actuation failure (a dead RPC peer)
 }
 
 func (f *fakeInstance) Name() string      { return f.name }
@@ -28,6 +29,9 @@ func (f *fakeInstance) QueueLen() int     { return f.queueLen }
 func (f *fakeInstance) Level() cmp.Level  { return f.level }
 
 func (f *fakeInstance) SetLevel(l cmp.Level) error {
+	if f.setLevelErr != nil {
+		return f.setLevelErr
+	}
 	delta := f.sys.model.Power(l) - f.sys.model.Power(f.level)
 	if f.sys.draw+delta > f.sys.budget+1e-9 {
 		return cmp.ErrBudgetExceeded

@@ -52,13 +52,41 @@ func (c Config) Validate() error {
 }
 
 // Policy is one latency-mitigation strategy invoked at every adjust
-// interval. Implementations mutate the system through the Command Center
-// interfaces and report what they did.
+// interval. Implementations decide against a PlanView and actuate through
+// the Executor (plan/apply, DESIGN.md §5g); Adjust is the thin wrapper that
+// runs both and reports what was done.
 type Policy interface {
 	// Name identifies the policy in experiment output.
 	Name() string
 	// Adjust runs one control interval.
 	Adjust(sys System, agg *Aggregator) BoostOutcome
+}
+
+// Planner is the pure decision half of a policy: Plan computes one
+// interval's decision against a PlanView of the system and returns the
+// mutation program plus the outcome the policy would report, without
+// touching the deployment. Callers can inspect or dry-run the plan, or hand
+// it to an Executor.
+//
+// PowerChief's periodic withdraw epoch fires only through Adjust — a Plan
+// call at an epoch boundary captures the boost decision alone.
+type Planner interface {
+	Policy
+	Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome)
+}
+
+// applyPlan actuates a decision and folds the apply result back into the
+// outcome: a failed (rolled-back) plan reports BoostNone, and an instance
+// boost picks up the realized clone's name.
+func applyPlan(x Executor, sys System, agg *Aggregator, plan *ActionPlan, out BoostOutcome) BoostOutcome {
+	res := x.Apply(sys, agg, plan)
+	if res.Err != nil {
+		return BoostOutcome{Kind: BoostNone, Target: out.Target}
+	}
+	if out.Kind == BoostInstance && len(res.Clones) > 0 {
+		out.NewInstance = res.Clones[len(res.Clones)-1]
+	}
+	return out
 }
 
 // Static is the stage-agnostic baseline: the power budget is divided equally
@@ -67,6 +95,11 @@ type Static struct{}
 
 // Name implements Policy.
 func (Static) Name() string { return "baseline" }
+
+// Plan implements Planner.
+func (Static) Plan(System, *Aggregator) (*ActionPlan, BoostOutcome) {
+	return &ActionPlan{}, BoostOutcome{Kind: BoostNone}
+}
 
 // Adjust implements Policy.
 func (Static) Adjust(System, *Aggregator) BoostOutcome { return BoostOutcome{Kind: BoostNone} }
@@ -91,16 +124,23 @@ func (f *FreqBoost) SetAudit(a *telemetry.AuditLog) {
 	f.engine.Audit = a
 }
 
+// Plan implements Planner.
+func (f *FreqBoost) Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome) {
+	pv := NewPlanView(sys)
+	ranked := Identifier{Metric: f.Cfg.Metric}.Rank(pv, agg)
+	auditIdentify(f.audit, pv.Now(), ranked)
+	if len(ranked) == 0 || Spread(ranked) < f.Cfg.BalanceThreshold {
+		return pv.Take(), BoostOutcome{Kind: BoostNone}
+	}
+	out := f.engine.FreqBoostToMax(pv, ranked)
+	pv.SetOutcome(out)
+	return pv.Take(), out
+}
+
 // Adjust implements Policy.
 func (f *FreqBoost) Adjust(sys System, agg *Aggregator) BoostOutcome {
-	ranked := Identifier{Metric: f.Cfg.Metric}.Rank(sys, agg)
-	auditIdentify(f.audit, sys.Now(), ranked)
-	if len(ranked) == 0 || Spread(ranked) < f.Cfg.BalanceThreshold {
-		return BoostOutcome{Kind: BoostNone}
-	}
-	out := f.engine.FreqBoostToMax(sys, ranked)
-	auditOutcome(f.audit, sys, out)
-	return out
+	plan, out := f.Plan(sys, agg)
+	return applyPlan(Executor{Audit: f.audit}, sys, agg, plan, out)
 }
 
 // InstBoost is the pure instance-boosting policy: every interval it tries to
@@ -123,16 +163,23 @@ func (i *InstBoost) SetAudit(a *telemetry.AuditLog) {
 	i.engine.Audit = a
 }
 
+// Plan implements Planner.
+func (i *InstBoost) Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome) {
+	pv := NewPlanView(sys)
+	ranked := Identifier{Metric: i.Cfg.Metric}.Rank(pv, agg)
+	auditIdentify(i.audit, pv.Now(), ranked)
+	if len(ranked) == 0 || Spread(ranked) < i.Cfg.BalanceThreshold {
+		return pv.Take(), BoostOutcome{Kind: BoostNone}
+	}
+	out := i.engine.InstBoostAlways(pv, ranked)
+	pv.SetOutcome(out)
+	return pv.Take(), out
+}
+
 // Adjust implements Policy.
 func (i *InstBoost) Adjust(sys System, agg *Aggregator) BoostOutcome {
-	ranked := Identifier{Metric: i.Cfg.Metric}.Rank(sys, agg)
-	auditIdentify(i.audit, sys.Now(), ranked)
-	if len(ranked) == 0 || Spread(ranked) < i.Cfg.BalanceThreshold {
-		return BoostOutcome{Kind: BoostNone}
-	}
-	out := i.engine.InstBoostAlways(sys, ranked)
-	auditOutcome(i.audit, sys, out)
-	return out
+	plan, out := i.Plan(sys, agg)
+	return applyPlan(Executor{Audit: i.audit}, sys, agg, plan, out)
 }
 
 // PowerChief is the full adaptive policy: accurate bottleneck
@@ -163,45 +210,42 @@ func (p *PowerChief) SetAudit(a *telemetry.AuditLog) {
 	p.engine.Audit = a
 }
 
+// Plan implements Planner: the adaptive boosting decision (identify, then
+// Algorithm 1 with recycling) captured as a plan. The periodic withdraw
+// epoch is actuation-coupled — withdraws redistribute queues, and the boost
+// decision must see the post-withdraw system — so it runs as its own plan
+// inside Adjust, not here.
+func (p *PowerChief) Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome) {
+	pv := NewPlanView(sys)
+	ranked := Identifier{Metric: p.Cfg.Metric}.Rank(pv, agg)
+	auditIdentify(p.audit, pv.Now(), ranked)
+	if len(ranked) == 0 || Spread(ranked) < p.Cfg.BalanceThreshold {
+		return pv.Take(), BoostOutcome{Kind: BoostNone}
+	}
+	out := p.engine.SelectBoosting(pv, ranked)
+	pv.SetOutcome(out)
+	return pv.Take(), out
+}
+
 // Adjust implements Policy.
 func (p *PowerChief) Adjust(sys System, agg *Aggregator) BoostOutcome {
 	now := sys.Now()
-	id := Identifier{Metric: p.Cfg.Metric}
-	ranked := id.Rank(sys, agg)
+	ranked := Identifier{Metric: p.Cfg.Metric}.Rank(sys, agg)
 	if len(ranked) == 0 {
 		return BoostOutcome{Kind: BoostNone}
 	}
+	x := Executor{Audit: p.audit}
 
 	if !p.withdrawInit {
 		// Anchor the first withdraw epoch at the first adjust.
 		p.withdrawInit = true
 		p.lastWithdraw = now
 	} else if p.Cfg.WithdrawInterval > 0 && now-p.lastWithdraw >= p.Cfg.WithdrawInterval {
-		plans := PlanWithdraws(sys, ranked, p.Cfg.WithdrawThreshold)
-		if n, err := ExecuteWithdraws(plans, agg); err == nil {
-			p.Withdrawn += n
-			for _, pl := range plans {
-				target := ""
-				if pl.Target != nil {
-					target = pl.Target.Name()
-				}
-				auditWithdraw(p.audit, now, pl.Stage.Name(), pl.Victim.Name(), target)
-			}
-		}
-		for _, in := range Instances(sys) {
-			in.ResetUtilizationEpoch()
-		}
+		res := x.Apply(sys, agg, PlanWithdrawEpoch(sys, ranked, p.Cfg.WithdrawThreshold))
+		p.Withdrawn += res.Withdrawn
 		p.lastWithdraw = now
-		if len(plans) > 0 {
-			ranked = id.Rank(sys, agg)
-		}
 	}
 
-	auditIdentify(p.audit, now, ranked)
-	if Spread(ranked) < p.Cfg.BalanceThreshold {
-		return BoostOutcome{Kind: BoostNone}
-	}
-	out := p.engine.SelectBoosting(sys, ranked)
-	auditOutcome(p.audit, sys, out)
-	return out
+	plan, out := p.Plan(sys, agg)
+	return applyPlan(x, sys, agg, plan, out)
 }

@@ -123,6 +123,21 @@ func PlanWithdraws(sys System, ranked []Ranked, threshold float64) []WithdrawPla
 	return plans
 }
 
+// PlanWithdrawEpoch captures one withdraw epoch (§6.2) as an ActionPlan:
+// the per-stage underutilization withdraws followed by a utilization-epoch
+// reset of every instance (the Executor skips resets of instances withdrawn
+// earlier in the plan, leaving exactly the survivors reset).
+func PlanWithdrawEpoch(sys System, ranked []Ranked, threshold float64) *ActionPlan {
+	plan := &ActionPlan{}
+	for _, wp := range PlanWithdraws(sys, ranked, threshold) {
+		plan.Actions = append(plan.Actions, &WithdrawAction{Stage: wp.Stage, Victim: wp.Victim, Target: wp.Target})
+	}
+	for _, in := range Instances(sys) {
+		plan.Actions = append(plan.Actions, &ResetEpochAction{Instance: in})
+	}
+	return plan
+}
+
 // ExecuteWithdraws applies the plans, forgetting the victims' statistics.
 // Returns the number of instances withdrawn.
 func ExecuteWithdraws(plans []WithdrawPlan, agg *Aggregator) (int, error) {

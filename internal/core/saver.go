@@ -41,14 +41,15 @@ func NewPegasus(qos time.Duration) *Pegasus {
 // Name implements Policy.
 func (*Pegasus) Name() string { return "pegasus" }
 
-// Adjust implements Policy.
-func (p *Pegasus) Adjust(sys System, agg *Aggregator) BoostOutcome {
+// Plan implements Planner.
+func (p *Pegasus) Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome) {
+	pv := NewPlanView(sys)
 	lat, ok := agg.WindowLatency()
 	if !ok {
-		return BoostOutcome{Kind: BoostNone}
+		return pv.Take(), BoostOutcome{Kind: BoostNone}
 	}
 	frac := float64(lat) / float64(p.QoS)
-	ins := Instances(sys)
+	ins := Instances(pv)
 	out := BoostOutcome{Kind: BoostNone}
 	if p.holding > 0 {
 		// Cool-down after a violation: stay at maximum power.
@@ -56,7 +57,7 @@ func (p *Pegasus) Adjust(sys System, agg *Aggregator) BoostOutcome {
 		for _, in := range ins {
 			_ = in.SetLevel(cmp.MaxLevel)
 		}
-		return out
+		return pv.Take(), out
 	}
 	switch {
 	case frac >= 1.0:
@@ -91,7 +92,13 @@ func (p *Pegasus) Adjust(sys System, agg *Aggregator) BoostOutcome {
 			}
 		}
 	}
-	return out
+	return pv.Take(), out
+}
+
+// Adjust implements Policy.
+func (p *Pegasus) Adjust(sys System, agg *Aggregator) BoostOutcome {
+	plan, out := p.Plan(sys, agg)
+	return applyPlan(Executor{}, sys, agg, plan, out)
 }
 
 // PowerChiefSaver is PowerChief's power-conservation mode: the opposite of
@@ -137,18 +144,22 @@ func (s *PowerChiefSaver) SetAudit(a *telemetry.AuditLog) {
 	s.engine.Audit = a
 }
 
-// Adjust implements Policy.
-func (s *PowerChiefSaver) Adjust(sys System, agg *Aggregator) BoostOutcome {
+// Plan implements Planner: one conservation interval decided against a
+// PlanView. State the decision itself depends on (cooldown, hold bands) is
+// advanced here; the withdraw/relaunch counters advance in Adjust once the
+// plan actually applied.
+func (s *PowerChiefSaver) Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome) {
+	pv := NewPlanView(sys)
 	lat, ok := agg.WindowLatency()
 	if !ok {
-		return BoostOutcome{Kind: BoostNone}
+		return pv.Take(), BoostOutcome{Kind: BoostNone}
 	}
 	id := Identifier{Metric: s.Cfg.Metric}
-	ranked := id.Rank(sys, agg)
+	ranked := id.Rank(pv, agg)
 	if len(ranked) == 0 {
-		return BoostOutcome{Kind: BoostNone}
+		return pv.Take(), BoostOutcome{Kind: BoostNone}
 	}
-	auditIdentify(s.audit, sys.Now(), ranked)
+	auditIdentify(s.audit, pv.Now(), ranked)
 	frac := float64(lat) / float64(s.QoS)
 	switch {
 	case frac >= 1.0:
@@ -167,25 +178,19 @@ func (s *PowerChiefSaver) Adjust(sys System, agg *Aggregator) BoostOutcome {
 				}
 			}
 		}
-		if allMax && bn.Stage.CanScale() && sys.FreeCores() > 0 {
+		if allMax && bn.Stage.CanScale() && pv.FreeCores() > 0 {
 			// The whole stage already runs at peak: restore capacity that
 			// withdraw recycled earlier by launching an instance back.
+			old := pv.setReason(ReasonRelaunch)
 			if clone, err := bn.Stage.Clone(bn.Instance); err == nil {
 				out.Kind = BoostInstance
 				out.NewInstance = clone.Name()
-				s.Relaunched++
-				if s.audit.Enabled() {
-					s.audit.Record(telemetry.Event{
-						Time: sys.Now(), Kind: telemetry.EventRelaunch,
-						Stage: bn.Stage.Name(), Instance: clone.Name(),
-						HeadroomWatts: float64(sys.Headroom()),
-					})
-				}
 			}
+			pv.setReason(old)
 		}
 		s.cooldown = 6
-		auditOutcome(s.audit, sys, out)
-		return out
+		pv.SetOutcome(out)
+		return pv.Take(), out
 	case frac >= 0.90:
 		// Near the target: give the bottleneck stage one step back.
 		bn := ranked[0]
@@ -198,9 +203,9 @@ func (s *PowerChiefSaver) Adjust(sys System, agg *Aggregator) BoostOutcome {
 				}
 			}
 		}
-		return out
+		return pv.Take(), out
 	case frac >= 0.80:
-		return BoostOutcome{Kind: BoostNone}
+		return pv.Take(), BoostOutcome{Kind: BoostNone}
 	}
 
 	// Comfortable slack: conserve power, fastest instances first.
@@ -216,8 +221,8 @@ func (s *PowerChiefSaver) Adjust(sys System, agg *Aggregator) BoostOutcome {
 		s.cooldown--
 	}
 	if frac < 0.70 && s.cooldown == 0 {
-		if name, ok := s.tryWithdraw(sys, agg, ranked); ok {
-			return BoostOutcome{Kind: BoostNone, Target: name}
+		if name, ok := s.planWithdraw(pv, ranked); ok {
+			return pv.Take(), BoostOutcome{Kind: BoostNone, Target: name}
 		}
 	}
 
@@ -235,6 +240,7 @@ func (s *PowerChiefSaver) Adjust(sys System, agg *Aggregator) BoostOutcome {
 	}
 	out := BoostOutcome{Kind: BoostNone}
 	bottleneckMetric := ranked[0].Metric
+	old := pv.setReason(ReasonDeboost)
 	for i := 0; i < steps && i < len(ranked); i++ {
 		r := ranked[len(ranked)-1-i]
 		in := r.Instance
@@ -258,29 +264,40 @@ func (s *PowerChiefSaver) Adjust(sys System, agg *Aggregator) BoostOutcome {
 		}
 		if err := in.SetLevel(l - 1); err == nil {
 			out = BoostOutcome{Kind: BoostFrequency, Target: in.Name(), OldLevel: l, NewLevel: l - 1}
-			if s.audit.Enabled() {
-				s.audit.Record(telemetry.Event{
-					Time: sys.Now(), Kind: telemetry.EventDeboost,
-					Stage: r.Stage.Name(), Instance: in.Name(),
-					OldLevel: int(l), NewLevel: int(l - 1),
-					HeadroomWatts: float64(sys.Headroom()),
-				})
-			}
+		}
+	}
+	pv.setReason(old)
+	return pv.Take(), out
+}
+
+// Adjust implements Policy.
+func (s *PowerChiefSaver) Adjust(sys System, agg *Aggregator) BoostOutcome {
+	plan, out := s.Plan(sys, agg)
+	res := Executor{Audit: s.audit}.Apply(sys, agg, plan)
+	if res.Err != nil {
+		return BoostOutcome{Kind: BoostNone, Target: out.Target}
+	}
+	s.Withdrawn += res.Withdrawn
+	if len(res.Clones) > 0 {
+		s.Relaunched++
+		if out.Kind == BoostInstance {
+			out.NewInstance = res.Clones[len(res.Clones)-1]
 		}
 	}
 	return out
 }
 
-// tryWithdraw looks for a stage that can spare an instance: the projected
+// planWithdraw looks for a stage that can spare an instance: the projected
 // utilization of the survivors stays below SafeUtilization. The stage's
 // fastest (lowest-metric) instance is withdrawn, its load redirected by the
-// stage dispatcher.
-func (s *PowerChiefSaver) tryWithdraw(sys System, agg *Aggregator, ranked []Ranked) (string, bool) {
+// stage dispatcher. The withdraw and the epoch resets land on the plan; the
+// Executor forgets the victim's statistics when it applies.
+func (s *PowerChiefSaver) planWithdraw(pv *PlanView, ranked []Ranked) (string, bool) {
 	cap := s.SafeUtilization
 	if cap == 0 {
 		cap = 0.5
 	}
-	for _, st := range sys.Stages() {
+	for _, st := range pv.Stages() {
 		if !st.CanScale() {
 			continue
 		}
@@ -310,10 +327,7 @@ func (s *PowerChiefSaver) tryWithdraw(sys System, agg *Aggregator, ranked []Rank
 		if err := st.Withdraw(victim, nil); err != nil {
 			continue
 		}
-		agg.Forget(victim.Name())
-		s.Withdrawn++
-		auditWithdraw(s.audit, sys.Now(), st.Name(), victim.Name(), "")
-		for _, in := range Instances(sys) {
+		for _, in := range Instances(pv) {
 			in.ResetUtilizationEpoch()
 		}
 		return victim.Name(), true

@@ -1,12 +1,12 @@
 package dist
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"powerchief/internal/cmp"
+	"powerchief/internal/fault"
 	"powerchief/internal/rpc"
 	"powerchief/internal/telemetry"
 )
@@ -14,12 +14,13 @@ import (
 // ErrStageDown marks a submit or actuation rejected because the target stage
 // is quarantined (down or still recovering). Callers fail fast instead of
 // waiting out an RPC deadline against a peer the center already knows is
-// unreachable. Test with errors.Is.
-var ErrStageDown = errors.New("stage down")
+// unreachable. Test with errors.Is. The value lives in the fault leaf
+// package so the control plane can classify it without importing dist.
+var ErrStageDown = fault.ErrStageDown
 
 // ErrNoHealthyStages marks a control interval that could not run because
 // every stage of the pipeline is quarantined.
-var ErrNoHealthyStages = errors.New("dist: no healthy stages")
+var ErrNoHealthyStages = fault.ErrNoHealthyStages
 
 // HealthState is one stage connection's position in the fault-handling state
 // machine:

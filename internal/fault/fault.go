@@ -1,0 +1,28 @@
+// Package fault holds the degraded-mode sentinel errors shared by the
+// distributed runtime (which raises them) and the control plane (which
+// classifies them). It sits below both so the control loop can recognise a
+// partially-down backend without importing the dist package — dist is built
+// on the live runtime, which itself drives the control plane.
+//
+// The dist package re-exports these values (dist.ErrStageDown,
+// dist.ErrNoHealthyStages), so errors.Is matches against either name.
+package fault
+
+import "errors"
+
+// ErrStageDown marks a submit or actuation rejected because the target stage
+// is quarantined (down or still recovering). Callers fail fast instead of
+// waiting out an RPC deadline against a peer the center already knows is
+// unreachable. Test with errors.Is.
+var ErrStageDown = errors.New("stage down")
+
+// ErrNoHealthyStages marks a control interval that could not run because
+// every stage of the pipeline is quarantined.
+var ErrNoHealthyStages = errors.New("dist: no healthy stages")
+
+// IsDegraded reports whether err is a degraded-mode failure: the backend is
+// partially or fully quarantined but expected to recover, so control loops
+// should keep ticking rather than abort.
+func IsDegraded(err error) bool {
+	return errors.Is(err, ErrStageDown) || errors.Is(err, ErrNoHealthyStages)
+}

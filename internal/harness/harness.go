@@ -7,6 +7,7 @@ import (
 
 	"powerchief/internal/app"
 	"powerchief/internal/cmp"
+	"powerchief/internal/controlplane"
 	"powerchief/internal/core"
 	"powerchief/internal/query"
 	"powerchief/internal/sim"
@@ -195,11 +196,6 @@ func Run(sc Scenario) (*Result, error) {
 	view := core.NewDESView(sys)
 	agg := core.NewAggregator(sc.StatsWindow, eng.Now)
 	policy := sc.Policy()
-	if sc.Audit != nil {
-		if as, ok := policy.(core.AuditSetter); ok {
-			as.SetAudit(sc.Audit)
-		}
-	}
 
 	res := &Result{
 		Scenario:  sc.Name,
@@ -232,31 +228,35 @@ func Run(sc Scenario) (*Result, error) {
 	}, rng, sc.Duration)
 	gen.Start()
 
-	// Control loop.
-	stopCtl := eng.Every(sc.AdjustInterval, func() {
-		out := policy.Adjust(view, agg)
-		res.Boosts[out.Kind]++
-	})
-
-	// Trace sampling: power, windowed latency, instance counts, levels.
+	// Control plane: adjust epochs plus the trace-sampling epoch, on the
+	// engine's virtual clock. Registration order (adjust before sample) is
+	// part of the determinism contract the golden figures pin.
 	var powerIntegral float64 // watt-seconds over the horizon
 	lastSample := time.Duration(0)
-	stopSample := eng.Every(sc.SampleEvery, func() {
-		now := eng.Now()
-		powerIntegral += float64(chip.Draw()) * (now - lastSample).Seconds()
-		lastSample = now
-		res.Trace.Record("power", now, float64(chip.Draw()))
-		if lat, ok := agg.WindowLatency(); ok {
-			res.Trace.Record("latency", now, lat.Seconds())
-		}
-		for _, st := range sys.Stages() {
-			active := st.Active()
-			res.Trace.Record("instances:"+st.Name(), now, float64(len(active)))
-			for _, in := range active {
-				res.Trace.Record("freq:"+in.Name(), now, float64(in.Level().GHz()))
+	ctl, err := controlplane.Start(controlplane.SimClock(eng), controlplane.NewAdjuster(view, agg), controlplane.Options{
+		Policy:         policy,
+		Interval:       sc.AdjustInterval,
+		SampleInterval: sc.SampleEvery,
+		Audit:          sc.Audit,
+		OnSample: func(now time.Duration) {
+			powerIntegral += float64(chip.Draw()) * (now - lastSample).Seconds()
+			lastSample = now
+			res.Trace.Record("power", now, float64(chip.Draw()))
+			if lat, ok := agg.WindowLatency(); ok {
+				res.Trace.Record("latency", now, lat.Seconds())
 			}
-		}
+			for _, st := range sys.Stages() {
+				active := st.Active()
+				res.Trace.Record("instances:"+st.Name(), now, float64(len(active)))
+				for _, in := range active {
+					res.Trace.Record("freq:"+in.Name(), now, float64(in.Level().GHz()))
+				}
+			}
+		},
 	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %q control plane: %w", sc.Name, err)
+	}
 
 	// Generation horizon, then drain.
 	eng.RunUntil(sc.Duration)
@@ -268,8 +268,8 @@ func Run(sc Scenario) (*Result, error) {
 		}
 		eng.RunUntil(eng.Now() + step)
 	}
-	stopCtl()
-	stopSample()
+	ctl.Stop()
+	res.Boosts = ctl.Boosts()
 
 	if horizon := eng.Now(); horizon > 0 && lastSample > 0 {
 		res.AvgPower = cmp.Watts(powerIntegral / lastSample.Seconds())

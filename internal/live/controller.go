@@ -1,24 +1,31 @@
 package live
 
 import (
-	"sync"
 	"time"
 
+	"powerchief/internal/controlplane"
 	"powerchief/internal/core"
 )
 
-// Controller drives a control policy against a live cluster on a wall-clock
-// ticker — the Command Center's control loop of the real-system prototype.
+// Clock returns the cluster's virtual-time clock for the control plane:
+// Now is the cluster's compressed time, and Every ticks at the wall
+// equivalent of the requested virtual interval.
+func (c *Cluster) Clock() controlplane.Clock { return clusterClock{c: c} }
+
+type clusterClock struct{ c *Cluster }
+
+func (cc clusterClock) Now() time.Duration { return cc.c.Now() }
+
+func (cc clusterClock) Every(interval time.Duration, fn func()) (stop func()) {
+	return controlplane.TickerEvery(cc.c.wall(interval), fn)
+}
+
+// Controller drives a control policy against a live cluster — the Command
+// Center's control loop of the real-system prototype. It is a thin veneer
+// over the shared controlplane loop, kept for the facade's API: the loop
+// owns the cadence, the bounded outcome history and the race-free stop.
 type Controller struct {
-	cluster *Cluster
-	agg     *core.Aggregator
-	policy  core.Policy
-
-	mu       sync.Mutex
-	outcomes []core.BoostOutcome
-
-	stop chan struct{}
-	done chan struct{}
+	loop *controlplane.Loop
 }
 
 // StartController begins adjusting the cluster every virtual interval
@@ -31,51 +38,29 @@ func StartController(c *Cluster, agg *core.Aggregator, policy core.Policy, inter
 	if interval <= 0 {
 		panic("live: controller interval must be positive")
 	}
-	ctl := &Controller{
-		cluster: c,
-		agg:     agg,
-		policy:  policy,
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+	loop, err := controlplane.Start(c.Clock(), controlplane.NewAdjuster(c, agg), controlplane.Options{
+		Policy:   policy,
+		Interval: interval,
+	})
+	if err != nil {
+		panic("live: " + err.Error())
 	}
-	wall := c.wall(interval)
-	if wall <= 0 {
-		wall = time.Millisecond
-	}
-	go func() {
-		defer close(ctl.done)
-		ticker := time.NewTicker(wall)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ctl.stop:
-				return
-			case <-ticker.C:
-				out := policy.Adjust(c, agg)
-				ctl.mu.Lock()
-				ctl.outcomes = append(ctl.outcomes, out)
-				ctl.mu.Unlock()
-			}
-		}
-	}()
-	return ctl
+	return &Controller{loop: loop}
 }
 
-// Outcomes returns a copy of the decisions taken so far.
-func (ctl *Controller) Outcomes() []core.BoostOutcome {
-	ctl.mu.Lock()
-	defer ctl.mu.Unlock()
-	out := make([]core.BoostOutcome, len(ctl.outcomes))
-	copy(out, ctl.outcomes)
-	return out
-}
+// Loop exposes the underlying control-plane loop (error counters, boost
+// tallies).
+func (ctl *Controller) Loop() *controlplane.Loop { return ctl.loop }
 
-// Stop halts the control loop and waits for it to exit.
-func (ctl *Controller) Stop() {
-	select {
-	case <-ctl.stop:
-	default:
-		close(ctl.stop)
-	}
-	<-ctl.done
-}
+// Outcomes returns a copy of the retained decisions, oldest first. The
+// history is bounded (controlplane.DefaultHistory); Total keeps the full
+// count.
+func (ctl *Controller) Outcomes() []core.BoostOutcome { return ctl.loop.Outcomes() }
+
+// Total counts every adjust over the controller's lifetime, including
+// decisions the bounded history has dropped.
+func (ctl *Controller) Total() uint64 { return ctl.loop.Total() }
+
+// Stop halts the control loop and waits for it to exit. Safe to call
+// concurrently and repeatedly.
+func (ctl *Controller) Stop() { ctl.loop.Stop() }

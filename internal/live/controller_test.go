@@ -1,0 +1,32 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"powerchief/internal/core"
+)
+
+// TestControllerStopConcurrently is the -race regression test for the old
+// controller's double-close panic: Stop raced Stop on a bare channel close.
+// The shared control-plane loop must let any number of goroutines stop the
+// controller, each returning only once the loop has fully exited.
+func TestControllerStopConcurrently(t *testing.T) {
+	c := twoStageCluster(t, 1)
+	defer c.Close()
+	agg := core.NewAggregator(time.Second, c.Now)
+	c.OnComplete(agg.Ingest)
+	ctl := StartController(c, agg, core.Static{}, 10*time.Millisecond)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctl.Stop()
+		}()
+	}
+	wg.Wait()
+	ctl.Stop() // still idempotent after the storm
+}

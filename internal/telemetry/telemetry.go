@@ -31,6 +31,9 @@ const (
 	EventRelaunch EventKind = "relaunch"
 	// EventDeboost records the power saver stepping a fast instance down.
 	EventDeboost EventKind = "deboost"
+	// EventPlanRollback records the executor undoing the applied prefix of
+	// an action plan after a mid-plan actuation failure.
+	EventPlanRollback EventKind = "plan-rollback"
 	// EventStageSuspect records a stage's first health failure.
 	EventStageSuspect EventKind = "stage-suspect"
 	// EventStageQuarantine records a stage quarantined by the health machine,
