@@ -26,11 +26,18 @@ test:
 	$(GO) test ./...
 
 # Race-focused pass over the concurrency-heavy packages: the RPC transport,
-# the distributed control plane (including the chaos tests), the stage
-# engine, and the telemetry subsystem (ring buffers + registry under
-# concurrent writers).
+# the distributed control plane (including the chaos tests), the fleet
+# coordinator, the stage engine, and the telemetry subsystem (ring buffers +
+# registry under concurrent writers).
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/dist/... ./internal/stage/... ./internal/telemetry/... ./internal/controlplane/... ./internal/live/...
+	$(GO) test -race ./internal/rpc/... ./internal/dist/... ./internal/fleet/... ./internal/stage/... ./internal/telemetry/... ./internal/controlplane/... ./internal/live/...
+
+# The fleet chaos smoke: a coordinator over three proxied node services,
+# kill one mid-run, assert Σ granted ≤ budget at every epoch plus reclaim
+# and re-admission. Exits non-zero on any violation.
+.PHONY: fleet-smoke
+fleet-smoke:
+	$(GO) run ./examples/fleet
 
 # The full local gate: what CI runs.
 check: vet staticcheck build test race

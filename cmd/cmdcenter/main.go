@@ -109,9 +109,9 @@ func main() {
 			_, comp := center.Counts()
 			return float64(comp)
 		})
-		reg.GaugeFunc("powerchief_stages_quarantined", "stages currently quarantined", func() float64 {
-			return float64(len(center.Quarantined()))
-		})
+		// Health machine: per-stage state gauges, the quarantined count and
+		// lifetime quarantine/re-admission counters.
+		center.RegisterMetrics(reg)
 		reg.CounterFunc("powerchief_decisions_total", "decision audit events recorded", func() float64 {
 			return float64(audit.LastSeq())
 		})

@@ -17,12 +17,16 @@
 //	decisions.txt      the Command Center's decision audit timeline for an
 //	                   audited PowerChief run (identify / boost / recycle)
 //	headline.txt       the abstract's aggregate numbers, paper vs measured
+//	BENCH_fleet.json   fleet-federation robustness record: a 100-node DES
+//	                   fleet, 10 nodes partitioned mid-run, budget invariant
+//	                   and reclamation/recovery timings per epoch
 //
 // Use -fig to regenerate a single experiment
-// (2,4,10,11,12,13,14,tail,ablations,decisions).
+// (2,4,10,11,12,13,14,tail,ablations,decisions,fleet).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +37,7 @@ import (
 	"powerchief/internal/app"
 	"powerchief/internal/cmp"
 	"powerchief/internal/core"
+	"powerchief/internal/fleet"
 	"powerchief/internal/harness"
 	"powerchief/internal/telemetry"
 	"powerchief/internal/workload"
@@ -41,7 +46,7 @@ import (
 func main() {
 	var (
 		out  = flag.String("out", "results", "output directory")
-		fig  = flag.String("fig", "all", "experiment to run: 2, 4, 10, 11, 12, 13, 14 or all")
+		fig  = flag.String("fig", "all", "experiment to run: 2, 4, 10, 11, 12, 13, 14, sweep, tail, ablations, decisions, fleet or all")
 		seed = flag.Int64("seed", 7, "random seed shared by all experiments")
 	)
 	flag.Parse()
@@ -190,6 +195,23 @@ func main() {
 				}
 			}
 			return nil
+		})
+	})
+
+	run("fleet", func() error {
+		// The recorded fleet-federation benchmark: a 100-node DES fleet
+		// under one coordinator, 10 nodes partitioned mid-run. The record
+		// pins the robustness invariants (no budget violation, no stranded
+		// watts, convergence and recovery within epochs of the fault) and is
+		// byte-deterministic — same params, same JSON.
+		res, err := fleet.RunFleetSim(fleet.DefaultSimParams())
+		if err != nil {
+			return err
+		}
+		return writeTo(*out, "BENCH_fleet.json", func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(res)
 		})
 	})
 

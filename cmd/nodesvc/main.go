@@ -1,0 +1,129 @@
+// Command nodesvc runs one node of a federated fleet: a synthetic power
+// domain exposed to the fleet coordinator over the framework's RPC. The
+// node reports its bottleneck metric and accepts epoch-fenced budget grants
+// (DESIGN.md §5h).
+//
+//	nodesvc -name node-a -load 1.5 -addr :7201
+//
+// Fault injection mirrors stagesvc: -chaos routes the service through the
+// dist.ChaosProxy harness so an operator can kill, hang or slow a live node
+// and watch the coordinator reclaim and re-admit its budget:
+//
+//	nodesvc -name node-b -load 2 -addr :7202 -chaos hang
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/dist"
+	"powerchief/internal/fleet"
+	"powerchief/internal/telemetry"
+)
+
+func main() {
+	var (
+		name = flag.String("name", "", "node name reported to the coordinator")
+		load = flag.Float64("load", 1, "work intensity (1.0 ≈ one saturated max-level core)")
+		addr = flag.String("addr", ":0", "listen address")
+
+		// Fault injection (chaos harness).
+		chaos      = flag.String("chaos", "", "serve through the fault-injection proxy: pass, hang, slow or deny")
+		chaosDelay = flag.Duration("chaosdelay", 100*time.Millisecond, "per-reply delay in -chaos slow mode")
+
+		// Telemetry.
+		metricsAddr = flag.String("metrics.addr", "", "serve /metrics on this address (empty disables)")
+	)
+	flag.Parse()
+	if *name == "" {
+		fatal(fmt.Errorf("-name is required"))
+	}
+
+	backend := fleet.NewSynthBackend(*load, 0)
+	svc, err := fleet.NewNodeService(*name, backend)
+	if err != nil {
+		fatal(err)
+	}
+	var proxy *dist.ChaosProxy
+	bound := ""
+	if *chaos != "" {
+		mode, err := parseChaosMode(*chaos)
+		if err != nil {
+			fatal(err)
+		}
+		// The service listens privately; the advertised address is the chaos
+		// proxy in front of it.
+		private, err := svc.Listen("127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		proxy = dist.NewChaosProxy(private)
+		proxy.SetMode(mode)
+		proxy.SetDelay(*chaosDelay)
+		if bound, err = proxy.Listen(*addr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("node %s chaos mode %s (delay %v), backend %s\n", *name, mode, *chaosDelay, private)
+	} else {
+		if bound, err = svc.Listen(*addr); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("node %s serving on %s (load %.2f)\n", *name, bound, *load)
+
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		reg.GaugeFunc("powerchief_node_budget_watts", "last granted budget", func() float64 {
+			return float64(backend.Budget())
+		})
+		reg.GaugeFunc("powerchief_node_draw_watts", "modelled local draw", func() float64 {
+			return float64(backend.Draw())
+		})
+		reg.GaugeFunc("powerchief_node_epoch", "last accepted grant epoch (fencing watermark)", func() float64 {
+			return float64(svc.Epoch())
+		})
+		reg.CounterFunc("powerchief_node_grants_total", "grants accepted from the coordinator", func() float64 {
+			return float64(svc.Grants())
+		})
+		srv, err := telemetry.Serve(*metricsAddr, telemetry.Handler(reg, nil, nil))
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("node %s telemetry on http://%s/metrics\n", *name, srv.Addr)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	if proxy != nil {
+		proxy.Close()
+	}
+	svc.Close()
+	fmt.Printf("node %s stopped at %.2fW (epoch %d, %d grants)\n",
+		*name, float64(cmp.Watts(backend.Budget())), svc.Epoch(), svc.Grants())
+}
+
+func parseChaosMode(s string) (dist.ChaosMode, error) {
+	switch s {
+	case "pass":
+		return dist.ChaosPass, nil
+	case "hang":
+		return dist.ChaosHang, nil
+	case "slow":
+		return dist.ChaosSlow, nil
+	case "deny":
+		return dist.ChaosDeny, nil
+	}
+	return 0, fmt.Errorf("unknown -chaos mode %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nodesvc:", err)
+	os.Exit(1)
+}

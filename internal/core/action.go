@@ -30,6 +30,11 @@ const (
 	// ReasonRelaunch marks the saver launching an instance back during QoS
 	// recovery.
 	ReasonRelaunch
+	// ReasonRebalance marks a fleet coordinator re-granting a node's budget
+	// from the periodic metric-weighted redistribution.
+	ReasonRebalance
+	// ReasonReadmit marks the floor grant that re-admits a recovered node.
+	ReasonReadmit
 )
 
 // Action is one typed mutation of the deployment. The four kinds mirror the
@@ -106,6 +111,28 @@ type ResetEpochAction struct {
 // Describe implements Action.
 func (a *ResetEpochAction) Describe() string {
 	return fmt.Sprintf("reset-epoch %s", a.Instance.Name())
+}
+
+// SetBudgetAction re-grants one fleet node's power budget. At the fleet
+// layer the "system" is the cluster: Draw() is the sum of granted node
+// budgets and Budget() the cluster cap, so the executor's budget replay
+// (drawn += To−From per action) enforces the cluster invariant
+// Σ granted ≤ cap at every intermediate state — which is why planners order
+// decreases before increases. A rollback restores From.
+type SetBudgetAction struct {
+	// Node is the actuation handle (an RPC client in the real fleet, a sim
+	// node in the DES).
+	Node NodeControl
+	// From and To are the granted budgets before and after; From is what a
+	// rollback restores.
+	From, To cmp.Watts
+	// Reason tags the intent for audit (ReasonRebalance or ReasonReadmit).
+	Reason ActionReason
+}
+
+// Describe implements Action.
+func (a *SetBudgetAction) Describe() string {
+	return fmt.Sprintf("set-budget %s %.2fW→%.2fW", a.Node.Name(), float64(a.From), float64(a.To))
 }
 
 // recycleSpan marks a contiguous run of plan actions produced by one power

@@ -82,6 +82,17 @@ func (x Executor) Validate(sys System, plan *ActionPlan) error {
 			free++
 		case *ResetEpochAction:
 			// No power effect.
+		case *SetBudgetAction:
+			// Fleet-layer action: drawn is the sum of granted node budgets,
+			// budget the cluster cap. Same acceptance test as the chip's.
+			delta := a.To - a.From
+			if a.To < 0 {
+				return fmt.Errorf("core: plan validation: %s: negative budget", a.Describe())
+			}
+			if drawn+delta > budget+1e-9 {
+				return fmt.Errorf("core: plan validation: %s: %w", a.Describe(), cmp.ErrBudgetExceeded)
+			}
+			drawn += delta
 		default:
 			return fmt.Errorf("core: plan validation: unknown action %T", act)
 		}
@@ -201,6 +212,21 @@ func (x Executor) Apply(sys System, agg *Aggregator, plan *ActionPlan) ApplyResu
 			}
 			real.ResetUtilizationEpoch()
 			res.Applied++
+		case *SetBudgetAction:
+			if err := a.Node.SetBudget(a.To); err != nil {
+				return x.fail(sys, steps, act, err, res)
+			}
+			steps = append(steps, appliedStep{act: act})
+			res.Applied++
+			if x.Audit.Enabled() {
+				x.Audit.Record(telemetry.Event{
+					Time: sys.Now(), Kind: telemetry.EventSetBudget,
+					Node:         a.Node.Name(),
+					PrevWatts:    float64(a.From),
+					GrantedWatts: float64(a.To),
+					Detail:       reasonDetail(a.Reason),
+				})
+			}
 		default:
 			return x.fail(sys, steps, act, fmt.Errorf("core: unknown action %T", act), res)
 		}
@@ -239,6 +265,12 @@ func (x Executor) fail(sys System, steps []appliedStep, act Action, cause error,
 			} else {
 				undone++
 			}
+		case *SetBudgetAction:
+			if err := a.Node.SetBudget(a.From); err != nil {
+				failed++
+			} else {
+				undone++
+			}
 		}
 	}
 	res.RolledBack = undone+failed > 0
@@ -252,6 +284,24 @@ func (x Executor) fail(sys System, steps []appliedStep, act Action, cause error,
 		})
 	}
 	return res
+}
+
+// reasonDetail renders an ActionReason for the audit Detail field.
+func reasonDetail(r ActionReason) string {
+	switch r {
+	case ReasonRebalance:
+		return "rebalance"
+	case ReasonReadmit:
+		return "readmit"
+	case ReasonRecycle:
+		return "recycle"
+	case ReasonDeboost:
+		return "deboost"
+	case ReasonRelaunch:
+		return "relaunch"
+	default:
+		return "boost"
+	}
 }
 
 // auditRecycle emits one EventRecycle for a completed recycle span, listing

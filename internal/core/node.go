@@ -1,0 +1,22 @@
+package core
+
+import "powerchief/internal/cmp"
+
+// NodeControl is the fleet layer's actuation surface: one node of the
+// cluster whose local power budget the coordinator can read and re-grant.
+// Implementations are the RPC node client (real fleet) and the DES sim node.
+// It mirrors Instance/StageControl one level up: the plan/apply machinery
+// treats a SetBudgetAction on a NodeControl exactly like a SetLevelAction on
+// an Instance — validated against the enclosing budget, applied in order,
+// rolled back on mid-plan failure.
+type NodeControl interface {
+	// Name identifies the node (stable across reconnects).
+	Name() string
+	// Budget returns the node's currently granted power budget.
+	Budget() cmp.Watts
+	// SetBudget re-grants the node's budget. Implementations deliver the
+	// grant (an RPC with the coordinator's fencing epoch in the real fleet)
+	// and return an error when the node rejects it or is unreachable —
+	// triggering the executor's rollback of the plan's applied prefix.
+	SetBudget(w cmp.Watts) error
+}

@@ -3,12 +3,14 @@ package dist
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"powerchief/internal/cmp"
 	"powerchief/internal/core"
 	"powerchief/internal/query"
 	"powerchief/internal/rpc"
+	"powerchief/internal/telemetry"
 )
 
 // Center is the distributed Command Center: it owns the application's power
@@ -42,6 +44,11 @@ type Center struct {
 	probeStop chan struct{}
 	probeWG   sync.WaitGroup
 	closed    bool
+
+	// Health-transition counters, maintained by the state machine whether or
+	// not auditing is enabled; exported via RegisterMetrics.
+	quarantines  atomic.Uint64
+	readmissions atomic.Uint64
 }
 
 // NewCenter connects to the stage services at addrs (pipeline order) with
@@ -243,6 +250,44 @@ func (c *Center) Adjust(policy core.Policy) (core.BoostOutcome, error) {
 		return core.BoostOutcome{}, ErrNoHealthyStages
 	}
 	return policy.Adjust(c, c.agg), nil
+}
+
+// QuarantineCounts returns the lifetime number of stage quarantines and
+// re-admissions the health machine has performed.
+func (c *Center) QuarantineCounts() (quarantines, readmissions uint64) {
+	return c.quarantines.Load(), c.readmissions.Load()
+}
+
+// RegisterMetrics exports the center's health telemetry on reg: a per-stage
+// health-state gauge (0 healthy, 1 suspect, 2 down, 3 recovering), the count
+// of currently quarantined stages, and lifetime quarantine/re-admission
+// counters. Stage names are sanitized into the metric-name charset.
+func (c *Center) RegisterMetrics(reg *telemetry.Registry) {
+	c.mu.Lock()
+	stages := make([]*remoteStage, len(c.stages))
+	copy(stages, c.stages)
+	c.mu.Unlock()
+	for _, st := range stages {
+		st := st
+		reg.GaugeFunc("powerchief_stage_health_"+telemetry.SanitizeName(st.name),
+			"stage health state (0 healthy, 1 suspect, 2 down, 3 recovering)",
+			func() float64 { return float64(st.Health()) })
+	}
+	reg.GaugeFunc("powerchief_stages_quarantined", "stages currently quarantined by the health machine", func() float64 {
+		n := 0
+		for _, h := range c.Healths() {
+			if h.State == Down || h.State == Recovering {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.CounterFunc("powerchief_stage_quarantines_total", "lifetime stage quarantines", func() float64 {
+		return float64(c.quarantines.Load())
+	})
+	reg.CounterFunc("powerchief_stage_readmissions_total", "lifetime stage re-admissions", func() float64 {
+		return float64(c.readmissions.Load())
+	})
 }
 
 // Close stops the prober and tears down the stage connections. Idempotent.

@@ -134,6 +134,17 @@ func (p *ChaosProxy) Kill() {
 	p.SeverConns()
 }
 
+// Partition is the canonical "network partition" injection: the same
+// observable signature as Kill (connections refused and severed) but named
+// for the case where the backend process keeps running — and keeps its local
+// state, including any fencing epoch it last saw. A healed partition
+// (Restore) therefore brings back a peer that may report with a stale epoch,
+// which is exactly what fencing must reject; a killed-and-restarted backend
+// comes back empty instead.
+func (p *ChaosProxy) Partition() {
+	p.Kill()
+}
+
 // Restore returns the proxy to transparent forwarding, optionally pointing
 // it at a restarted backend (empty keeps the current one).
 func (p *ChaosProxy) Restore(backend string) {

@@ -1,0 +1,217 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/core"
+	"powerchief/internal/stage"
+	"powerchief/internal/telemetry"
+)
+
+// Conservation-mode chaos coverage: the QoS power savers (PowerChiefSaver,
+// Pegasus) driven over RPC while ChaosProxy kills a stage mid-run. The
+// promises under test: the saver's CloneAction relaunch actuates over the
+// wire, degraded control intervals keep running on the survivors, and the
+// returning stage is re-admitted budget-safely — the observed draw never
+// exceeds the budget at any instant of the run.
+
+// startSaverPipeline is startChaosPipeline with a configurable initial level
+// and budget headroom (in whole max-level cores beyond the three stages).
+func startSaverPipeline(t *testing.T, opts CenterOptions, level cmp.Level, extraCores int) (*Center, []*StageService, []*ChaosProxy) {
+	t.Helper()
+	specs := []StageOptions{
+		{Name: "ASR", Kind: stage.Pipeline, MemBound: 0.15, Instances: 1, Level: level, TimeScale: testScale},
+		{Name: "IMM", Kind: stage.Pipeline, MemBound: 0.35, Instances: 1, Level: level, TimeScale: testScale},
+		{Name: "QA", Kind: stage.Pipeline, MemBound: 0.25, Instances: 1, Level: level, TimeScale: testScale},
+	}
+	var svcs []*StageService
+	var proxies []*ChaosProxy
+	var addrs []string
+	for _, so := range specs {
+		svc, err := NewStageService(so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backend, err := svc.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxy := NewChaosProxy(backend)
+		front, err := proxy.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		svcs = append(svcs, svc)
+		proxies = append(proxies, proxy)
+		addrs = append(addrs, front)
+	}
+	model := cmp.DefaultModel()
+	budget := 3*model.Power(level) + cmp.Watts(extraCores)*model.Power(cmp.MaxLevel)
+	center, err := NewCenterOptions(budget, 25*time.Second, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		center.Close()
+		for _, p := range proxies {
+			p.Close()
+		}
+		for _, s := range svcs {
+			s.Close()
+		}
+	})
+	return center, svcs, proxies
+}
+
+// probeUntilReadmitted drives ProbeNow until no stage is quarantined.
+func probeUntilReadmitted(t *testing.T, center *Center) {
+	t.Helper()
+	for i := 0; i < 40; i++ {
+		center.ProbeNow()
+		if len(center.Quarantined()) == 0 {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("stage never re-admitted; healths: %+v", center.Healths())
+}
+
+// TestChaosSaverCloneRelaunchAndReadmit drives PowerChiefSaver over RPC: a
+// standing QoS violation on an all-max bottleneck stage makes the saver plan
+// a CloneAction relaunch, actuated over the wire through the executor. Then
+// the boosted stage is killed mid-run, degraded intervals continue on the
+// survivors, and the healed stage is re-admitted with its levels shed as
+// needed — with the budget invariant watched at every instant.
+func TestChaosSaverCloneRelaunchAndReadmit(t *testing.T) {
+	opts := chaosOptions()
+	audit := telemetry.NewAuditLog(256)
+	opts.Audit = audit
+	// Everything at max, one spare max-level core of headroom: the saver's
+	// violation path finds the bottleneck stage already at peak and relaunches
+	// an instance with the headroom.
+	center, _, proxies := startSaverPipeline(t, opts, cmp.MaxLevel, 1)
+	feedQueries(t, center, 5)
+
+	stopWatch, maxDraw := watchBudget(center)
+	defer stopWatch()
+
+	// A 1µs QoS target is violated by construction, every interval.
+	saver := core.NewPowerChiefSaver(time.Microsecond, core.DefaultConfig())
+	saver.SetAudit(audit)
+
+	out, err := center.Adjust(saver)
+	if err != nil {
+		t.Fatalf("Adjust: %v", err)
+	}
+	if out.Kind != core.BoostInstance || out.NewInstance == "" {
+		t.Fatalf("violation on an all-max stage produced %v (%q), want an instance relaunch", out.Kind, out.NewInstance)
+	}
+	if saver.Relaunched != 1 {
+		t.Fatalf("Relaunched = %d, want 1", saver.Relaunched)
+	}
+	relaunched := false
+	for _, e := range audit.Events() {
+		if e.Kind == telemetry.EventRelaunch {
+			relaunched = true
+		}
+	}
+	if !relaunched {
+		t.Error("relaunch not audited")
+	}
+	if center.Draw() > center.Budget()+1e-9 {
+		t.Fatalf("draw %v over budget %v after relaunch", center.Draw(), center.Budget())
+	}
+
+	// Kill the relaunched (bottleneck) stage mid-run. Its two max-level
+	// instances leave the view; the watts return to headroom.
+	proxies[0].Kill()
+	for i := 0; i < opts.SuspectAfter; i++ {
+		center.Submit([][]time.Duration{{time.Millisecond}, {time.Millisecond}, {time.Millisecond}})
+	}
+	if _, err := center.Submit([][]time.Duration{{time.Millisecond}, {time.Millisecond}, {time.Millisecond}}); !errors.Is(err, ErrStageDown) {
+		t.Fatalf("submit after kill = %v, want ErrStageDown", err)
+	}
+
+	// Degraded conservation intervals keep running on the survivors.
+	if _, err := center.Adjust(saver); err != nil {
+		t.Fatalf("degraded Adjust: %v", err)
+	}
+	if center.Draw() > center.Budget()+1e-9 {
+		t.Fatalf("degraded interval pushed draw %v over budget %v", center.Draw(), center.Budget())
+	}
+
+	// Heal and re-admit. The returning stage wants two max-level cores but
+	// the survivors may have spent the reclaimed watts; re-admission sheds the
+	// returning stage's levels first, so the budget is never exceeded.
+	proxies[0].Restore("")
+	probeUntilReadmitted(t, center)
+	if center.Draw() > center.Budget()+1e-9 {
+		t.Errorf("draw %v over budget %v after re-admission", center.Draw(), center.Budget())
+	}
+	q, r := center.QuarantineCounts()
+	if q < 1 || r < 1 {
+		t.Errorf("quarantine counters = %d/%d, want at least 1/1", q, r)
+	}
+
+	stopWatch()
+	if worst := maxDraw(); worst > center.Budget()+1e-9 {
+		t.Errorf("observed draw %v over budget %v during the run", worst, center.Budget())
+	}
+
+	if _, err := center.Submit([][]time.Duration{{time.Millisecond}, {time.Millisecond}, {time.Millisecond}}); err != nil {
+		t.Errorf("submit after recovery: %v", err)
+	}
+}
+
+// TestChaosPegasusKillAndReadmitBudgetSafe drives the Pegasus baseline over
+// RPC through the same chaos sequence: a violation races the survivors to
+// maximum power while a stage is down, and the healed stage's re-admission
+// must shed levels to fit the remaining headroom.
+func TestChaosPegasusKillAndReadmitBudgetSafe(t *testing.T) {
+	opts := chaosOptions()
+	// Mid levels with just enough budget for three max-level cores: room for
+	// Pegasus to race survivors to max, not for a free re-admission.
+	center, _, proxies := startSaverPipeline(t, opts, cmp.MidLevel, 0)
+	feedQueries(t, center, 5)
+
+	stopWatch, maxDraw := watchBudget(center)
+	defer stopWatch()
+
+	pegasus := core.NewPegasus(time.Microsecond)
+
+	// Kill one stage, then run violating intervals: Pegasus races every
+	// surviving instance to maximum power with the reclaimed watts.
+	proxies[1].Kill()
+	for i := 0; i < opts.SuspectAfter; i++ {
+		center.Submit([][]time.Duration{{time.Millisecond}, {time.Millisecond}, {time.Millisecond}})
+	}
+	if got := len(center.Quarantined()); got != 1 {
+		t.Fatalf("quarantined = %d, want 1", got)
+	}
+	if _, err := center.Adjust(pegasus); err != nil {
+		t.Fatalf("degraded Adjust: %v", err)
+	}
+	if center.Draw() > center.Budget()+1e-9 {
+		t.Fatalf("pegasus pushed draw %v over budget %v", center.Draw(), center.Budget())
+	}
+
+	// Heal: re-admission must fit the returning stage into what headroom is
+	// left, shedding its levels if the survivors hold the watts.
+	proxies[1].Restore("")
+	probeUntilReadmitted(t, center)
+	if center.Draw() > center.Budget()+1e-9 {
+		t.Errorf("draw %v over budget %v after re-admission", center.Draw(), center.Budget())
+	}
+
+	stopWatch()
+	if worst := maxDraw(); worst > center.Budget()+1e-9 {
+		t.Errorf("observed draw %v over budget %v during the run", worst, center.Budget())
+	}
+
+	if _, err := center.Submit([][]time.Duration{{time.Millisecond}, {time.Millisecond}, {time.Millisecond}}); err != nil {
+		t.Errorf("submit after recovery: %v", err)
+	}
+}

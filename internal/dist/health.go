@@ -33,36 +33,25 @@ var ErrNoHealthyStages = fault.ErrNoHealthyStages
 //
 // Down and Recovering stages are *quarantined*: excluded from Stages() and
 // Draw(), their watts reclaimed into Headroom() for the survivors.
-type HealthState int
+//
+// The state vocabulary is shared with the fleet coordinator (which runs the
+// same machine per node) via the fault leaf package; HealthState is an alias
+// so existing dist callers keep compiling while both layers compare against
+// one set of values.
+type HealthState = fault.Health
 
 const (
 	// Healthy: calls are succeeding.
-	Healthy HealthState = iota
+	Healthy = fault.Healthy
 	// Suspect: at least one recent call failed; still served and counted,
 	// probed in the background.
-	Suspect
+	Suspect = fault.Suspect
 	// Down: quarantined after repeated failures or a broken connection.
-	Down
+	Down = fault.Down
 	// Recovering: a probe succeeded; the stage is being re-admitted (budget
 	// share restored) but is still quarantined until that completes.
-	Recovering
+	Recovering = fault.Recovering
 )
-
-// String implements fmt.Stringer.
-func (h HealthState) String() string {
-	switch h {
-	case Healthy:
-		return "healthy"
-	case Suspect:
-		return "suspect"
-	case Down:
-		return "down"
-	case Recovering:
-		return "recovering"
-	default:
-		return "unknown"
-	}
-}
 
 // CenterOptions tunes the center's fault tolerance.
 type CenterOptions struct {
@@ -182,12 +171,25 @@ func (st *remoteStage) setHealth(h HealthState) {
 	st.auditTransition(old, h, nil)
 }
 
-// auditTransition records one health-state change in the center's audit
-// log. Called with st.mu released: the quarantine event snapshots the
-// stage's draw and the survivors' headroom, both of which re-acquire locks.
+// auditTransition records one health-state change: quarantine/re-admission
+// counters first (kept regardless of audit enablement — they feed /metrics),
+// then the audit event. Called with st.mu released: the quarantine event
+// snapshots the stage's draw and the survivors' headroom, both of which
+// re-acquire locks.
 func (st *remoteStage) auditTransition(old, cur HealthState, err error) {
+	if old == cur {
+		return
+	}
+	switch cur {
+	case Down:
+		st.center.quarantines.Add(1)
+	case Healthy:
+		if old == Recovering {
+			st.center.readmissions.Add(1)
+		}
+	}
 	a := st.center.opts.Audit
-	if !a.Enabled() || old == cur {
+	if !a.Enabled() {
 		return
 	}
 	e := telemetry.Event{

@@ -1,11 +1,18 @@
-// Package fault holds the degraded-mode sentinel errors shared by the
-// distributed runtime (which raises them) and the control plane (which
-// classifies them). It sits below both so the control loop can recognise a
-// partially-down backend without importing the dist package — dist is built
-// on the live runtime, which itself drives the control plane.
+// Package fault holds the degraded-mode sentinel errors and the health
+// state machine vocabulary shared by the distributed runtime (which raises
+// them), the fleet coordinator (which raises their node-level twins) and the
+// control plane (which classifies them). It sits below all three so the
+// control loop can recognise a partially-down backend without importing the
+// dist or fleet packages — dist is built on the live runtime, which itself
+// drives the control plane.
 //
-// The dist package re-exports these values (dist.ErrStageDown,
+// The dist package re-exports the stage-level values (dist.ErrStageDown,
 // dist.ErrNoHealthyStages), so errors.Is matches against either name.
+//
+// Sentinels also carry a stable wire code (Code / FromCode) so the RPC layer
+// can round-trip them: a server encodes the code alongside the error string,
+// and the client's decoded error unwraps to the same sentinel, keeping
+// errors.Is(err, fault.ErrStageDown) true across process boundaries.
 package fault
 
 import "errors"
@@ -20,9 +27,108 @@ var ErrStageDown = errors.New("stage down")
 // every stage of the pipeline is quarantined.
 var ErrNoHealthyStages = errors.New("dist: no healthy stages")
 
+// ErrNodeDown is the fleet-level twin of ErrStageDown: an actuation or report
+// rejected because the target node is quarantined by the fleet coordinator.
+var ErrNodeDown = errors.New("node down")
+
+// ErrNoHealthyNodes marks a fleet control epoch that could not rebalance
+// because every node of the cluster is quarantined.
+var ErrNoHealthyNodes = errors.New("fleet: no healthy nodes")
+
+// ErrStaleEpoch marks a message fenced off by epoch tagging: a node report
+// carrying a pre-quarantine epoch after the coordinator reclaimed its budget,
+// or a budget grant from a superseded coordinator term. The sender must
+// resynchronise (accept a fresh grant) before its messages count again.
+var ErrStaleEpoch = errors.New("stale epoch")
+
 // IsDegraded reports whether err is a degraded-mode failure: the backend is
 // partially or fully quarantined but expected to recover, so control loops
 // should keep ticking rather than abort.
 func IsDegraded(err error) bool {
-	return errors.Is(err, ErrStageDown) || errors.Is(err, ErrNoHealthyStages)
+	return errors.Is(err, ErrStageDown) || errors.Is(err, ErrNoHealthyStages) ||
+		errors.Is(err, ErrNodeDown) || errors.Is(err, ErrNoHealthyNodes) ||
+		errors.Is(err, ErrStaleEpoch)
+}
+
+// wireCodes maps each sentinel to its stable wire identifier. Order is fixed
+// (not a map) so Code resolution is deterministic when sentinels wrap each
+// other, and so the codes double as documentation of the wire contract:
+// codes are part of the RPC protocol and must never be renamed.
+var wireCodes = []struct {
+	code string
+	err  error
+}{
+	{"stage-down", ErrStageDown},
+	{"no-healthy-stages", ErrNoHealthyStages},
+	{"node-down", ErrNodeDown},
+	{"no-healthy-nodes", ErrNoHealthyNodes},
+	{"stale-epoch", ErrStaleEpoch},
+}
+
+// Code returns the stable wire code for err, or "" when err does not wrap a
+// registered sentinel. The RPC server attaches it to error responses so the
+// client can restore sentinel identity after decode.
+func Code(err error) string {
+	if err == nil {
+		return ""
+	}
+	for _, wc := range wireCodes {
+		if errors.Is(err, wc.err) {
+			return wc.code
+		}
+	}
+	return ""
+}
+
+// FromCode returns the sentinel registered under code, or nil for an unknown
+// (or empty) code. Unknown codes are tolerated — a newer peer may send codes
+// this build does not know — and degrade to a plain application error.
+func FromCode(code string) error {
+	for _, wc := range wireCodes {
+		if wc.code == code {
+			return wc.err
+		}
+	}
+	return nil
+}
+
+// Health is the shared health state machine vocabulary: the distributed
+// center tracks it per stage, the fleet coordinator per node. Transitions
+// (both layers follow the same machine):
+//
+//	Healthy   --failure-->                Suspect
+//	Suspect   --failures >= threshold-->  Down      (budget reclaimed)
+//	Suspect   --success-->                Healthy
+//	Down      --probe success-->          Recovering
+//	Recovering --budget-safe readmit-->   Healthy
+type Health int
+
+const (
+	// Healthy: answering within deadlines; full participant.
+	Healthy Health = iota
+	// Suspect: missed one or more deadlines, not yet quarantined; still a
+	// participant, but one more failure (past the threshold) quarantines it.
+	Suspect
+	// Down: quarantined. Its budget has been reclaimed; submissions and
+	// actuations fail fast with the matching *Down sentinel.
+	Down
+	// Recovering: answered a probe after being down; awaiting budget-safe
+	// re-admission (the controller must find watts for its floor first).
+	Recovering
+)
+
+// String returns the lower-case state name used in audit events and metrics.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	case Recovering:
+		return "recovering"
+	default:
+		return "unknown"
+	}
 }

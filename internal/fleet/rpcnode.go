@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"fmt"
+
+	"powerchief/internal/rpc"
+)
+
+// RPCNode is the Transport over internal/rpc: one client connection to a
+// NodeService. A broken connection is redialed before the next exchange —
+// the probe path by which a quarantined node's recovery is detected — and
+// every call runs under the client's CallTimeout so a hung node costs one
+// deadline, not a stuck control epoch.
+type RPCNode struct {
+	name string
+	c    *rpc.Client
+}
+
+// DialNode connects to a node service and learns its identity. Client
+// options should set CallTimeout (and DialTimeout) so node death converts
+// into bounded heartbeat failures.
+func DialNode(addr string, opts rpc.ClientOptions) (*RPCNode, error) {
+	c, err := rpc.DialOptions(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	var info NodeInfo
+	if err := c.Call(MethodNodeInfo, nil, &info); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("fleet: identifying node at %s: %w", addr, err)
+	}
+	if info.Node == "" {
+		c.Close()
+		return nil, fmt.Errorf("fleet: node at %s has no name", addr)
+	}
+	return &RPCNode{name: info.Node, c: c}, nil
+}
+
+// Name implements Transport.
+func (n *RPCNode) Name() string { return n.name }
+
+// redialIfBroken restores a failed connection so the next call probes the
+// node instead of failing fast forever on a stale socket.
+func (n *RPCNode) redialIfBroken() error {
+	if n.c.Broken() {
+		return n.c.Redial()
+	}
+	return nil
+}
+
+// Report implements Transport.
+func (n *RPCNode) Report() (Report, error) {
+	if err := n.redialIfBroken(); err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := n.c.Call(MethodNodeReport, nil, &rep); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}
+
+// Grant implements Transport.
+func (n *RPCNode) Grant(g Grant) error {
+	if err := n.redialIfBroken(); err != nil {
+		return err
+	}
+	return n.c.Call(MethodNodeGrant, g, nil)
+}
+
+// Close tears the connection down.
+func (n *RPCNode) Close() error { return n.c.Close() }

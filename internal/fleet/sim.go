@@ -1,0 +1,245 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/controlplane"
+	"powerchief/internal/fault"
+	"powerchief/internal/sim"
+)
+
+// SimNode is the Transport in virtual time: a synthetic node living inside
+// the discrete-event engine, with a scriptable fault window. Everything is
+// a pure function of virtual time and the grant history, so a fleet of
+// SimNodes under the SimClock-driven coordinator is byte-deterministic.
+//
+// SimNode has no locks: in simulation the coordinator, the sampler and the
+// nodes all run on the engine's single event goroutine.
+type SimNode struct {
+	name string
+	now  func() time.Duration
+	load float64
+
+	budget cmp.Watts
+	epoch  uint64
+
+	failFrom, failTo time.Duration
+	restart          bool
+	reset            bool
+}
+
+// NewSimNode builds a node with the given work intensity (the SynthBackend
+// scale: 1.0 is one saturated max-level core's worth).
+func NewSimNode(name string, now func() time.Duration, load float64) *SimNode {
+	return &SimNode{name: name, now: now, load: load}
+}
+
+// FailBetween makes the node unreachable for the virtual window [from, to).
+// With restart true the node comes back restarted — empty budget, epoch 0 —
+// the kill signature; with restart false it keeps its pre-partition state,
+// so its first post-heal report echoes a stale epoch and must be fenced.
+func (n *SimNode) FailBetween(from, to time.Duration, restart bool) {
+	n.failFrom, n.failTo = from, to
+	n.restart = restart
+	n.reset = false
+}
+
+// down reports whether the node is inside its fault window.
+func (n *SimNode) down() bool {
+	t := n.now()
+	return n.failFrom < n.failTo && t >= n.failFrom && t < n.failTo
+}
+
+// heal applies the one-time restart reset when the fault window has passed.
+func (n *SimNode) heal() {
+	if n.restart && !n.reset && n.failFrom < n.failTo && n.now() >= n.failTo {
+		n.reset = true
+		n.epoch = 0
+		n.budget = 0
+	}
+}
+
+// Name implements Transport.
+func (n *SimNode) Name() string { return n.name }
+
+// Report implements Transport.
+func (n *SimNode) Report() (Report, error) {
+	if n.down() {
+		return Report{}, fmt.Errorf("sim: node %s unreachable", n.name)
+	}
+	n.heal()
+	return Report{
+		Node:   n.name,
+		Epoch:  n.epoch,
+		Metric: synthMetric(n.load, n.budget),
+		Draw:   n.budget,
+		Budget: n.budget,
+	}, nil
+}
+
+// Grant implements Transport.
+func (n *SimNode) Grant(g Grant) error {
+	if n.down() {
+		return fmt.Errorf("sim: node %s unreachable", n.name)
+	}
+	n.heal()
+	if g.Epoch < n.epoch {
+		return fmt.Errorf("sim: grant epoch %d behind accepted %d: %w", g.Epoch, n.epoch, fault.ErrStaleEpoch)
+	}
+	n.epoch = g.Epoch
+	n.budget = g.Watts
+	return nil
+}
+
+// Budget returns the node's current local budget (test introspection).
+func (n *SimNode) Budget() cmp.Watts { return n.budget }
+
+// SimParams scripts one deterministic fleet run: N nodes with a fixed load
+// spread, a mass kill at KillAt healing at HealAt, under one coordinator.
+type SimParams struct {
+	Nodes     int           `json:"nodes"`
+	Budget    cmp.Watts     `json:"budget_watts"`
+	Floor     cmp.Watts     `json:"floor_watts"`
+	Interval  time.Duration `json:"interval_ns"`
+	Duration  time.Duration `json:"duration_ns"`
+	KillAt    time.Duration `json:"kill_at_ns"`
+	HealAt    time.Duration `json:"heal_at_ns"`
+	KillCount int           `json:"kill_count"`
+	// Restart selects the failure flavour: true is kill-and-restart (state
+	// lost), false is a partition (state — and stale epoch — kept).
+	Restart bool `json:"restart"`
+}
+
+// DefaultSimParams is the recorded benchmark scenario: a 100-node fleet, 10
+// nodes partitioned mid-run, epochs of one virtual second.
+func DefaultSimParams() SimParams {
+	return SimParams{
+		Nodes:     100,
+		Budget:    1000,
+		Floor:     5,
+		Interval:  time.Second,
+		Duration:  120 * time.Second,
+		KillAt:    30 * time.Second,
+		HealAt:    80 * time.Second,
+		KillCount: 10,
+		Restart:   false,
+	}
+}
+
+// SimSample is one per-epoch observation of the cluster invariant.
+type SimSample struct {
+	T time.Duration `json:"t_ns"`
+	// Granted is Σ granted node budgets; the invariant is Granted ≤ Budget.
+	Granted cmp.Watts `json:"granted_watts"`
+	Healthy int       `json:"healthy"`
+	// Quarantined counts Down plus Recovering nodes.
+	Quarantined int `json:"quarantined"`
+	// Stranded is the watts still granted to quarantined nodes — nonzero at
+	// a sample means reclamation missed its one-epoch deadline (samples run
+	// after the adjust epoch at the same virtual instant).
+	Stranded cmp.Watts `json:"stranded_watts"`
+}
+
+// SimResult is the full record of one RunFleetSim, JSON-stable for golden
+// comparisons: same params, same bytes.
+type SimResult struct {
+	Params  SimParams   `json:"params"`
+	Samples []SimSample `json:"samples"`
+	// Violations counts samples where Σ granted exceeded the cluster budget.
+	Violations int `json:"violations"`
+	// StrandedSamples counts samples observing unreclaimed watts on
+	// quarantined nodes.
+	StrandedSamples int `json:"stranded_samples"`
+	// ConvergedAt is the first post-kill sample where every killed node is
+	// quarantined and the reclaimed watts are fully redistributed (headroom
+	// back under one floor); 0 if never reached.
+	ConvergedAt time.Duration `json:"converged_at_ns"`
+	// RecoveredAt is the first post-heal sample with nothing quarantined
+	// and the budget again fully allocated; 0 if never reached.
+	RecoveredAt  time.Duration `json:"recovered_at_ns"`
+	Quarantines  uint64        `json:"quarantines"`
+	Readmissions uint64        `json:"readmissions"`
+	Fenced       uint64        `json:"fenced"`
+}
+
+// RunFleetSim runs the scripted fleet scenario in virtual time and returns
+// the per-epoch record. The coordinator's adjust epoch registers on the
+// engine before the sampler, so at equal timestamps each sample observes
+// the post-adjust ledger — the determinism contract the invariant checks
+// ride on.
+func RunFleetSim(p SimParams) (*SimResult, error) {
+	if p.Nodes <= 0 || p.Interval <= 0 || p.Duration <= 0 {
+		return nil, fmt.Errorf("fleet: sim needs nodes, an interval and a duration")
+	}
+	if p.KillCount > p.Nodes {
+		return nil, fmt.Errorf("fleet: cannot kill %d of %d nodes", p.KillCount, p.Nodes)
+	}
+	eng := sim.NewEngine()
+	nodes := make([]*SimNode, p.Nodes)
+	transports := make([]Transport, p.Nodes)
+	for i := range nodes {
+		// A fixed load spread (1.0 to 2.5 in steps of 0.25) so the
+		// metric-weighted redistribution has structure to find.
+		load := 1 + float64(i%7)*0.25
+		n := NewSimNode(fmt.Sprintf("node-%03d", i), eng.Now, load)
+		if i < p.KillCount && p.KillAt < p.HealAt {
+			n.FailBetween(p.KillAt, p.HealAt, p.Restart)
+		}
+		nodes[i] = n
+		transports[i] = n
+	}
+	coord, err := NewCoordinator(Options{
+		Budget: p.Budget,
+		Floor:  p.Floor,
+		Now:    eng.Now,
+	}, transports...)
+	if err != nil {
+		return nil, err
+	}
+	loop, err := controlplane.Start(controlplane.SimClock(eng), coord, controlplane.Options{
+		Policy:   NewRebalance(),
+		Interval: p.Interval,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SimResult{Params: p}
+	stopSample := eng.Every(p.Interval, func() {
+		healths := coord.Healths()
+		granted := coord.Granted()
+		s := SimSample{T: eng.Now(), Granted: coord.Draw()}
+		for name, h := range healths {
+			switch h {
+			case fault.Healthy, fault.Suspect:
+				s.Healthy++
+			default:
+				s.Quarantined++
+				s.Stranded += granted[name]
+			}
+		}
+		res.Samples = append(res.Samples, s)
+		if s.Granted > p.Budget+1e-9 {
+			res.Violations++
+		}
+		if s.Stranded > 1e-9 {
+			res.StrandedSamples++
+		}
+		if res.ConvergedAt == 0 && p.KillCount > 0 && s.T >= p.KillAt &&
+			s.Quarantined == p.KillCount && p.Budget-s.Granted <= p.Floor {
+			res.ConvergedAt = s.T
+		}
+		if res.RecoveredAt == 0 && p.KillCount > 0 && s.T >= p.HealAt &&
+			s.Quarantined == 0 && p.Budget-s.Granted <= p.Floor {
+			res.RecoveredAt = s.T
+		}
+	})
+
+	eng.RunUntil(p.Duration)
+	stopSample()
+	loop.Stop()
+	res.Quarantines, res.Readmissions, res.Fenced = coord.Counts()
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestFleetSimDeterministic runs the recorded 100-node scenario twice and
+// demands byte-identical JSON — the determinism contract the benchmark
+// record rides on — plus the robustness acceptance criteria: no budget
+// violation at any epoch, no watts stranded on quarantined nodes past the
+// reclamation epoch, convergence within a few epochs of the 10-node kill,
+// and fencing of every healed partition's stale state.
+func TestFleetSimDeterministic(t *testing.T) {
+	p := DefaultSimParams()
+	r1, err := RunFleetSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunFleetSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := json.Marshal(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two identical fleet sims produced different bytes")
+	}
+
+	if r1.Violations != 0 {
+		t.Errorf("%d epochs violated Σ granted ≤ budget", r1.Violations)
+	}
+	if r1.StrandedSamples != 0 {
+		t.Errorf("%d epochs observed unreclaimed watts on quarantined nodes", r1.StrandedSamples)
+	}
+	if r1.ConvergedAt == 0 || r1.ConvergedAt > p.KillAt+3*p.Interval {
+		t.Errorf("convergence after the kill at %v, want within 3 epochs of %v", r1.ConvergedAt, p.KillAt)
+	}
+	if r1.RecoveredAt == 0 || r1.RecoveredAt > p.HealAt+3*p.Interval {
+		t.Errorf("recovery after the heal at %v, want within 3 epochs of %v", r1.RecoveredAt, p.HealAt)
+	}
+	if r1.Quarantines != uint64(p.KillCount) || r1.Readmissions != uint64(p.KillCount) {
+		t.Errorf("quarantines/readmissions = %d/%d, want %d/%d",
+			r1.Quarantines, r1.Readmissions, p.KillCount, p.KillCount)
+	}
+	if r1.Fenced < uint64(p.KillCount) {
+		t.Errorf("fenced %d stale reports, want at least one per healed partition (%d)", r1.Fenced, p.KillCount)
+	}
+	if len(r1.Samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+}
+
+// TestFleetSimKillRestart covers the other failure flavour: killed nodes
+// come back restarted (epoch 0, empty budget) and are still fenced and
+// re-admitted budget-safely.
+func TestFleetSimKillRestart(t *testing.T) {
+	p := SimParams{
+		Nodes: 10, Budget: 100, Floor: 5,
+		Interval: time.Second, Duration: 40 * time.Second,
+		KillAt: 10 * time.Second, HealAt: 25 * time.Second,
+		KillCount: 3, Restart: true,
+	}
+	r, err := RunFleetSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Violations != 0 || r.StrandedSamples != 0 {
+		t.Errorf("violations/stranded = %d/%d, want 0/0", r.Violations, r.StrandedSamples)
+	}
+	if r.Readmissions != uint64(p.KillCount) {
+		t.Errorf("readmissions = %d, want %d", r.Readmissions, p.KillCount)
+	}
+	if r.Fenced < uint64(p.KillCount) {
+		t.Errorf("fenced %d, want at least one per restarted node (%d)", r.Fenced, p.KillCount)
+	}
+	if r.RecoveredAt == 0 {
+		t.Error("fleet never recovered after the heal")
+	}
+}

@@ -1,0 +1,60 @@
+package live
+
+import (
+	"errors"
+	"testing"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/stage"
+)
+
+// TestClusterSetBudgetShedsLevels covers the fleet actuation surface on the
+// live cluster: lowering the budget below the draw sheds the highest levels
+// first, the chip is never left over-budget, and a budget below the minimum
+// possible draw is rejected without mutating anything it cannot honour.
+func TestClusterSetBudgetShedsLevels(t *testing.T) {
+	model := cmp.DefaultModel()
+	c, err := NewCluster(Options{Budget: 200, TimeScale: fastScale}, []StageSpec{
+		{Name: "A", Kind: stage.Pipeline, Profile: flat, Instances: 1, Level: cmp.MaxLevel},
+		{Name: "B", Kind: stage.Pipeline, Profile: flat, Instances: 1, Level: cmp.MidLevel},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	// Raising the budget is a plain re-grant.
+	if err := c.SetBudget(250); err != nil {
+		t.Fatalf("raising budget: %v", err)
+	}
+	if got := c.Budget(); got != 250 {
+		t.Fatalf("Budget() = %v, want 250", got)
+	}
+
+	// Lowering below the current draw sheds levels until the draw fits.
+	draw := c.Draw()
+	target := draw - model.MaxPower()/2
+	if err := c.SetBudget(target); err != nil {
+		t.Fatalf("lowering budget to %v: %v", target, err)
+	}
+	if got := c.Draw(); got > target+1e-9 {
+		t.Fatalf("draw %v over new budget %v", got, target)
+	}
+	if got := c.Budget(); got != target {
+		t.Fatalf("Budget() = %v, want %v", got, target)
+	}
+
+	// A budget below two floor-level cores cannot be honoured.
+	tooLow := model.MinPower()
+	if err := c.SetBudget(tooLow); !errors.Is(err, cmp.ErrBudgetExceeded) {
+		t.Fatalf("SetBudget(%v) = %v, want ErrBudgetExceeded", tooLow, err)
+	}
+	if err := c.SetBudget(-1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	// The failed calls shed what they could but never pushed the draw over
+	// the last honoured budget.
+	if got := c.Draw(); got > c.Budget()+1e-9 {
+		t.Fatalf("draw %v over budget %v after rejected SetBudget", got, c.Budget())
+	}
+}

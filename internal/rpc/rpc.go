@@ -10,6 +10,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"powerchief/internal/fault"
 )
 
 // MaxMessageSize bounds a single frame (16 MiB); larger frames abort the
@@ -23,10 +25,15 @@ type Request struct {
 	Params json.RawMessage `json:"params,omitempty"`
 }
 
-// Response answers a Request with the same ID.
+// Response answers a Request with the same ID. Code carries the stable
+// fault-sentinel wire code (fault.Code) when the handler's error wraps a
+// registered sentinel, so the client can restore sentinel identity; it is
+// omitted for plain application errors, keeping the frame layout
+// backward-compatible with peers that predate it.
 type Response struct {
 	ID     uint64          `json:"id"`
 	Error  string          `json:"error,omitempty"`
+	Code   string          `json:"code,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
@@ -180,6 +187,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				resp.Error = "rpc: unknown method " + req.Method
 			} else if result, err := h(req.Params); err != nil {
 				resp.Error = err.Error()
+				resp.Code = fault.Code(err)
 			} else if result != nil {
 				payload, err := json.Marshal(result)
 				if err != nil {
@@ -227,11 +235,21 @@ var (
 )
 
 // ServerError is an application error returned by the remote handler. It is
-// never retried: the request reached the peer and was answered.
-type ServerError struct{ Msg string }
+// never retried: the request reached the peer and was answered. Code carries
+// the fault-sentinel wire code when the remote error wrapped one; Unwrap
+// resolves it, so errors.Is(err, fault.ErrStageDown) holds across the wire.
+type ServerError struct {
+	Msg  string
+	Code string
+}
 
 // Error implements error.
 func (e *ServerError) Error() string { return e.Msg }
+
+// Unwrap restores sentinel identity from the wire code: the returned error
+// is the registered fault sentinel, or nil for plain application errors and
+// codes this build does not know.
+func (e *ServerError) Unwrap() error { return fault.FromCode(e.Code) }
 
 // IsTransient reports whether err is a transport-level failure — a timeout,
 // a broken or closed connection, a dial or I/O error — for which retrying an
@@ -427,6 +445,7 @@ func (c *Client) CallDeadline(method string, params any, result any, timeout tim
 		return err
 	}
 	conn := c.conn
+	gen := c.gen
 	c.nextID++
 	id := c.nextID
 	c.pending[id] = ch
@@ -439,7 +458,13 @@ func (c *Client) CallDeadline(method string, params any, result any, timeout tim
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return fmt.Errorf("%w: %v", ErrBroken, err)
+		// A failed write means the connection is dead for everyone, not just
+		// this call: mark the client broken immediately (scoped to this
+		// connection's generation) so the caller's next exchange redials
+		// instead of writing into the same dead socket.
+		werr := fmt.Errorf("%w: %v", ErrBroken, err)
+		c.fail(gen, werr)
+		return werr
 	}
 
 	var res callResult
@@ -468,7 +493,7 @@ func (c *Client) CallDeadline(method string, params any, result any, timeout tim
 		return res.err
 	}
 	if res.resp.Error != "" {
-		return &ServerError{Msg: res.resp.Error}
+		return &ServerError{Msg: res.resp.Error, Code: res.resp.Code}
 	}
 	if result != nil && len(res.resp.Result) > 0 {
 		return json.Unmarshal(res.resp.Result, result)

@@ -85,6 +85,31 @@ func validName(name string) bool {
 	return true
 }
 
+// SanitizeName maps an arbitrary entity name (a node or stage name) onto the
+// Prometheus metric-name charset so it can be embedded as a per-entity metric
+// suffix: every character outside [a-zA-Z0-9_:] becomes '_', and a leading
+// digit gains a '_' prefix. The registry has no label support, so per-entity
+// series are distinct metric names (e.g. fleet_node_granted_watts_node_07).
+func SanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			// digits are fine except in the leading position, handled below
+		default:
+			b[i] = '_'
+		}
+	}
+	if b[0] >= '0' && b[0] <= '9' {
+		return "_" + string(b)
+	}
+	return string(b)
+}
+
 func (r *Registry) register(name, help, kind string, read func() float64) {
 	if !validName(name) {
 		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))

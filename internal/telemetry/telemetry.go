@@ -44,6 +44,22 @@ const (
 	// EventStageReadmit records a stage re-admitted with its budget share
 	// restored.
 	EventStageReadmit EventKind = "stage-readmit"
+	// EventSetBudget records a fleet coordinator re-granting one node's power
+	// budget (a SetBudgetAction applied by the executor).
+	EventSetBudget EventKind = "set-budget"
+	// EventNodeSuspect records a fleet node's first heartbeat failure.
+	EventNodeSuspect EventKind = "node-suspect"
+	// EventNodeQuarantine records a node quarantined by the fleet health
+	// machine, its granted watts reclaimed into the cluster pool.
+	EventNodeQuarantine EventKind = "node-quarantine"
+	// EventNodeRecovering records a down node answering a probe again.
+	EventNodeRecovering EventKind = "node-recovering"
+	// EventNodeReadmit records a node re-admitted at the budget floor after a
+	// successful fenced grant.
+	EventNodeReadmit EventKind = "node-readmit"
+	// EventNodeFenced records a node report rejected by epoch fencing (a
+	// stale, pre-quarantine epoch after the coordinator moved on).
+	EventNodeFenced EventKind = "node-fenced"
 )
 
 // Donor is one instance that gave up power during a recycling pass.
@@ -71,6 +87,8 @@ type Event struct {
 	// identify/boost, the victim for withdraw, the stage for stage-* kinds).
 	Stage    string `json:"stage,omitempty"`
 	Instance string `json:"instance,omitempty"`
+	// Node names the fleet node for set-budget and node-* kinds.
+	Node string `json:"node,omitempty"`
 
 	// Bottleneck identification: the Equation 1 inputs and result.
 	QueueLen int           `json:"queue_len,omitempty"` // L: realtime queue length
@@ -90,6 +108,8 @@ type Event struct {
 	RecycledWatts  float64 `json:"recycled_watts,omitempty"`
 	ReclaimedWatts float64 `json:"reclaimed_watts,omitempty"` // watts freed by a quarantine
 	HeadroomWatts  float64 `json:"headroom_watts,omitempty"`
+	GrantedWatts   float64 `json:"granted_watts,omitempty"` // node budget after a set-budget
+	PrevWatts      float64 `json:"prev_watts,omitempty"`    // node budget before a set-budget
 
 	// Donors lists the instances recycled from (EventRecycle).
 	Donors []Donor `json:"donors,omitempty"`
