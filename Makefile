@@ -27,10 +27,10 @@ test:
 
 # Race-focused pass over the concurrency-heavy packages: the RPC transport,
 # the distributed control plane (including the chaos tests), the fleet
-# coordinator, the stage engine, and the telemetry subsystem (ring buffers +
-# registry under concurrent writers).
+# coordinator, the stage engine, the telemetry subsystem (ring buffers +
+# registry under concurrent writers), and the distributed benchmark harness.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/dist/... ./internal/fleet/... ./internal/stage/... ./internal/telemetry/... ./internal/controlplane/... ./internal/live/...
+	$(GO) test -race ./internal/rpc/... ./internal/dist/... ./internal/fleet/... ./internal/stage/... ./internal/telemetry/... ./internal/controlplane/... ./internal/live/... ./internal/benchnet/...
 
 # The fleet chaos smoke: a coordinator over three proxied node services,
 # kill one mid-run, assert Σ granted ≤ budget at every epoch plus reclaim
@@ -38,6 +38,24 @@ race:
 .PHONY: fleet-smoke
 fleet-smoke:
 	$(GO) run ./examples/fleet
+
+# The distributed benchmark smoke: spawn 4 local agent processes, fan one
+# sharded schedule out over real RPC against a shared dist deployment, and
+# merge the per-agent histograms into bench-net.json. The spec must match
+# results/BENCH_benchnet.json exactly, or bench-cmp refuses the comparison.
+.PHONY: bench-net bench-cmp
+bench-net:
+	$(GO) run ./cmd/powerbench -agents.spawn 4 -target dist -app websearch \
+		-instances 2,1 -timescale 0.3 -arrivals constant -rate 20 \
+		-duration 4s -warmup 500ms -workers 8 -seed 11 -json bench-net.json
+
+# The benchmark regression gate: compare the fresh distributed run against
+# the checked-in baseline. Thresholds are loose — the gate catches structural
+# regressions (a broken merge, a stalled shard, a latency cliff), not
+# scheduler jitter. Exits 1 on regression, 2 if the runs are incomparable.
+bench-cmp: bench-net
+	$(GO) run ./cmd/powerbench cmp -max.qps.drop 25 -max.p50 150 \
+		-max.p99 200 -max.p999 250 results/BENCH_benchnet.json bench-net.json
 
 # The full local gate: what CI runs.
 check: vet staticcheck build test race

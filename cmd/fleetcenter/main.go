@@ -40,6 +40,8 @@ func main() {
 		callTimeout  = flag.Duration("calltimeout", time.Second, "deadline for node report and grant RPCs")
 		suspectAfter = flag.Int("suspectafter", 2, "consecutive failures before a node is quarantined")
 		cooldown     = flag.Int("cooldown", 3, "epochs a re-admitted node is pinned at the floor")
+		strictCap    = flag.Bool("strictcap", false, "hold reclaimed watts one detection timeout before re-granting (physical cap never exceeded during partitions)")
+		holdEpochs   = flag.Int("hold", 0, "epochs a strict-cap hold lasts (0 = suspectafter)")
 
 		// Telemetry.
 		metricsAddr = flag.String("metrics.addr", "", "serve /metrics and /debug/decisions on this address (empty disables)")
@@ -69,6 +71,8 @@ func main() {
 		Hysteresis:     cmp.Watts(*hyst),
 		SuspectAfter:   *suspectAfter,
 		CooldownEpochs: *cooldown,
+		StrictCap:      *strictCap,
+		HoldEpochs:     *holdEpochs,
 		Audit:          audit,
 	}, transports...)
 	if err != nil {

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"powerchief/internal/loadgen"
+	"powerchief/internal/stats"
+)
+
+// writeSummary writes one summary artifact the way `-json` does.
+func writeSummary(t *testing.T, dir, name string, s loadgen.Summary) string {
+	t.Helper()
+	payload, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func cliSummary(t *testing.T, inflateTail float64) loadgen.Summary {
+	t.Helper()
+	h := stats.NewHistogram(1.05)
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(1+i%80) * time.Millisecond
+		if i%100 == 0 {
+			d = time.Duration(float64(400*time.Millisecond) * inflateTail)
+		}
+		h.Observe(d)
+	}
+	d := h.Digest()
+	q, err := loadgen.QuantilesFromDigest(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loadgen.Summary{
+		Target: "des", Schedule: "poisson", RateQPS: 10, Duration: "30s",
+		Workers: 16, Seed: 7, Agents: 1, Issued: 5000, Completed: 5000,
+		WallMS: 30000, AchievedQPS: 5000 / 30.0,
+		LatencyMS: q, LatencyHist: d,
+	}
+}
+
+// TestRunCmpExitCodes pins the gate's contract: 0 on self-comparison, 1 on
+// an injected 2x p99 regression, 2 when the runs are not comparable.
+func TestRunCmpExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSummary(t, dir, "base.json", cliSummary(t, 1))
+	regressed := writeSummary(t, dir, "regressed.json", cliSummary(t, 2))
+
+	other := cliSummary(t, 1)
+	other.Seed = 99
+	foreign := writeSummary(t, dir, "foreign.json", other)
+
+	if code := runCmp([]string{base, base}); code != 0 {
+		t.Fatalf("self-comparison exited %d, want 0", code)
+	}
+	if code := runCmp([]string{base, regressed}); code != 1 {
+		t.Fatalf("2x p99 regression exited %d, want 1", code)
+	}
+	if code := runCmp([]string{base, foreign}); code != 2 {
+		t.Fatalf("incomparable runs exited %d, want 2", code)
+	}
+	if code := runCmp([]string{"-force", base, foreign}); code != 0 {
+		t.Fatalf("forced comparison exited %d, want 0", code)
+	}
+	if code := runCmp([]string{base, filepath.Join(dir, "missing.json")}); code != 2 {
+		t.Fatalf("missing file exited %d, want 2", code)
+	}
+}

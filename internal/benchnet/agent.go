@@ -1,0 +1,228 @@
+package benchnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"powerchief/internal/loadgen"
+	"powerchief/internal/rpc"
+	"powerchief/internal/telemetry"
+)
+
+// TargetBuilder turns a RunSpec into a loadgen target plus its work-draw
+// sampler. Production agents use BuildTarget; tests substitute synthetic
+// targets.
+type TargetBuilder func(RunSpec) (loadgen.Target, func(*rand.Rand) [][]time.Duration, error)
+
+// Agent is the remote end of a distributed benchmark: one powerbench
+// process in -agent mode. It serves the bench.* protocol over internal/rpc,
+// builds the target a start spec names, runs its stride shard of the global
+// schedule from the common epoch, answers progress polls from the run's
+// live telemetry registry, and ships the final summary — histogram digest
+// included — when asked for the result.
+type Agent struct {
+	srv   *rpc.Server
+	build TargetBuilder
+	logf  func(format string, args ...any)
+
+	mu  sync.Mutex
+	run *agentRun
+}
+
+// agentRun is the state of one in-flight (or finished) benchmark run.
+type agentRun struct {
+	spec  RunSpec
+	epoch time.Time
+	reg   *telemetry.Registry
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	// Written before done closes, read only after.
+	summary loadgen.Summary
+	failed  error
+}
+
+func (r *agentRun) finished() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// NewAgent builds an agent serving the given target builder. logf may be nil.
+func NewAgent(build TargetBuilder, logf func(format string, args ...any)) *Agent {
+	if build == nil {
+		build = BuildTarget
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	a := &Agent{srv: rpc.NewServer(), build: build, logf: logf}
+	rpc.HandleFunc(a.srv, MethodHello, a.hello)
+	rpc.HandleFunc(a.srv, MethodStart, a.start)
+	rpc.HandleFunc(a.srv, MethodProgress, a.progress)
+	rpc.HandleFunc(a.srv, MethodStop, a.stopRun)
+	rpc.HandleFunc(a.srv, MethodResult, a.result)
+	return a
+}
+
+// Listen binds the agent's RPC server and returns the bound address.
+func (a *Agent) Listen(addr string) (string, error) { return a.srv.Listen(addr) }
+
+// Close stops the RPC server and cancels any in-flight run.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	run := a.run
+	a.mu.Unlock()
+	if run != nil {
+		run.stopOnce.Do(func() { close(run.stop) })
+	}
+	return a.srv.Close()
+}
+
+func (a *Agent) hello(args HelloArgs) (HelloReply, error) {
+	if args.Proto != ProtoVersion {
+		return HelloReply{}, fmt.Errorf("benchnet: coordinator speaks proto %d, agent speaks %d", args.Proto, ProtoVersion)
+	}
+	return HelloReply{Proto: ProtoVersion, Provenance: loadgen.CaptureProvenance()}, nil
+}
+
+// start arms one run. The target is built synchronously so a bad spec fails
+// the coordinator's start call instead of surfacing later as a mid-run
+// failure; the benchmark itself runs in a goroutine from the common epoch.
+func (a *Agent) start(args StartArgs) (struct{}, error) {
+	spec := args.Spec
+	if err := spec.Validate(); err != nil {
+		return struct{}{}, err
+	}
+	sched, err := loadgen.ParseSchedule(spec.Arrivals, spec.RateQPS, spec.Seed)
+	if err != nil {
+		return struct{}{}, err
+	}
+	target, draw, err := a.build(spec)
+	if err != nil {
+		return struct{}{}, err
+	}
+
+	run := &agentRun{
+		spec:  spec,
+		epoch: time.Unix(0, args.StartAtUnixNano),
+		reg:   telemetry.NewRegistry(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+
+	a.mu.Lock()
+	if a.run != nil && !a.run.finished() {
+		a.mu.Unlock()
+		target.Close()
+		return struct{}{}, fmt.Errorf("benchnet: agent already has a run in flight")
+	}
+	a.run = run
+	a.mu.Unlock()
+
+	a.logf("benchnet agent: run armed: shard %d/%d of %s %s @ %.1f/s for %v",
+		spec.ShardIndex, spec.ShardCount, spec.Target, spec.App, spec.RateQPS, spec.Duration)
+
+	go func() {
+		defer close(run.done)
+		defer target.Close()
+		if wait := time.Until(run.epoch); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-run.stop:
+			}
+		}
+		res, err := loadgen.Run(target, loadgen.Options{
+			Schedule:   sched,
+			Duration:   spec.Duration,
+			Warmup:     spec.Warmup,
+			Workers:    spec.Workers,
+			Seed:       spec.Seed,
+			DrawWork:   draw,
+			HistGrowth: spec.HistGrowth,
+			ShardIndex: spec.ShardIndex,
+			ShardCount: spec.ShardCount,
+			Stop:       run.stop,
+			Metrics:    run.reg,
+		})
+		if err != nil {
+			run.failed = err
+			a.logf("benchnet agent: run failed: %v", err)
+			return
+		}
+		run.summary = loadgen.Summarize(res)
+		a.logf("benchnet agent: run done: %d issued, %d completed, %d errors",
+			res.Issued, res.Completed, res.Errors)
+	}()
+	return struct{}{}, nil
+}
+
+func (a *Agent) current() (*agentRun, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.run == nil {
+		return nil, fmt.Errorf("benchnet: agent has no run")
+	}
+	return a.run, nil
+}
+
+// progress reads the run's live counters from its telemetry registry — the
+// same series a /metrics endpoint would export.
+func (a *Agent) progress(struct{}) (ProgressReply, error) {
+	run, err := a.current()
+	if err != nil {
+		return ProgressReply{}, err
+	}
+	rep := ProgressReply{Done: run.finished(), Running: !run.finished()}
+	if e := time.Since(run.epoch); e > 0 {
+		rep.ElapsedMS = float64(e) / float64(time.Millisecond)
+	}
+	for _, mv := range run.reg.Snapshot() {
+		switch mv.Name {
+		case "loadgen_ops_started_total":
+			rep.Issued = uint64(mv.Value)
+		case "loadgen_ops_completed_total":
+			rep.Completed = uint64(mv.Value)
+		case "loadgen_errors_total":
+			rep.Errors = uint64(mv.Value)
+		}
+	}
+	if rep.Done && run.failed != nil {
+		rep.Failed = run.failed.Error()
+	}
+	return rep, nil
+}
+
+// stopRun cancels the arrival process; in-flight operations drain and the
+// run completes with what it has recorded — the auto-termination path.
+func (a *Agent) stopRun(struct{}) (struct{}, error) {
+	run, err := a.current()
+	if err != nil {
+		return struct{}{}, err
+	}
+	run.stopOnce.Do(func() { close(run.stop) })
+	return struct{}{}, nil
+}
+
+// result ships the final summary; it is an error to ask before the run is
+// done (the coordinator polls progress first).
+func (a *Agent) result(struct{}) (ResultReply, error) {
+	run, err := a.current()
+	if err != nil {
+		return ResultReply{}, err
+	}
+	if !run.finished() {
+		return ResultReply{}, fmt.Errorf("benchnet: run still in flight")
+	}
+	if run.failed != nil {
+		return ResultReply{}, fmt.Errorf("benchnet: run failed: %w", run.failed)
+	}
+	return ResultReply{Summary: run.summary}, nil
+}

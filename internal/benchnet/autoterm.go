@@ -1,0 +1,113 @@
+package benchnet
+
+import "time"
+
+// atSample is one progress observation: cumulative completions at an offset
+// from the run epoch.
+type atSample struct {
+	t time.Duration
+	c uint64
+}
+
+// AutoTerm is the warp-style throughput stabilization detector. The
+// coordinator feeds it the cluster-wide cumulative completion count at each
+// progress poll; once the trailing Dur window's first-half and second-half
+// throughputs agree within Pct percent, the run is declared stable and the
+// remaining schedule is cut — long steady-state benchmarks end as soon as
+// they have converged instead of burning their full horizon.
+//
+// The detector is deliberately blunt: it compares two half-window rates, so
+// a monotone trend (still warming up, still degrading) keeps it unstable,
+// while noise faster than the window averages out. Oscillations slower than
+// half the window land in different halves and block termination — which is
+// the conservative behaviour a benchmark wants.
+type AutoTerm struct {
+	// Dur is the trailing window; zero disables the detector.
+	Dur time.Duration
+	// Pct is the allowed half-to-half throughput deviation in percent
+	// (default 7.5).
+	Pct float64
+	// MinSamples is the minimum number of polls inside the window before
+	// stabilization can be declared (default 5).
+	MinSamples int
+
+	samples []atSample
+}
+
+func (a *AutoTerm) pct() float64 {
+	if a.Pct <= 0 {
+		return 7.5
+	}
+	return a.Pct
+}
+
+func (a *AutoTerm) minSamples() int {
+	if a.MinSamples <= 0 {
+		return 5
+	}
+	return a.MinSamples
+}
+
+// Observe records one cumulative sample. Out-of-order timestamps are
+// dropped; samples older than twice the window are trimmed, so memory stays
+// bounded over arbitrarily long runs.
+func (a *AutoTerm) Observe(t time.Duration, completed uint64) {
+	if n := len(a.samples); n > 0 && t <= a.samples[n-1].t {
+		return
+	}
+	a.samples = append(a.samples, atSample{t: t, c: completed})
+	if a.Dur > 0 {
+		cutoff := t - 2*a.Dur
+		i := 0
+		for i < len(a.samples) && a.samples[i].t < cutoff {
+			i++
+		}
+		if i > 0 {
+			a.samples = append(a.samples[:0], a.samples[i:]...)
+		}
+	}
+}
+
+// Stable reports whether the trailing window has converged.
+func (a *AutoTerm) Stable() bool {
+	if a.Dur <= 0 || len(a.samples) == 0 {
+		return false
+	}
+	latest := a.samples[len(a.samples)-1]
+	lo := 0
+	for lo < len(a.samples) && a.samples[lo].t < latest.t-a.Dur {
+		lo++
+	}
+	win := a.samples[lo:]
+	if len(win) < a.minSamples() {
+		return false
+	}
+	first, last := win[0], win[len(win)-1]
+	span := last.t - first.t
+	if span < a.Dur*9/10 {
+		return false
+	}
+	// Split the window at its temporal midpoint and compare half rates.
+	midT := first.t + span/2
+	mi := 0
+	for i, s := range win {
+		if s.t <= midT {
+			mi = i
+		}
+	}
+	mid := win[mi]
+	if mid.t <= first.t || last.t <= mid.t {
+		return false
+	}
+	r1 := float64(mid.c-first.c) / (mid.t - first.t).Seconds()
+	r2 := float64(last.c-mid.c) / (last.t - mid.t).Seconds()
+	if r1 <= 0 || r2 <= 0 {
+		return false
+	}
+	avg := (r1 + r2) / 2
+	diff := r2 - r1
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= a.pct()/100*avg
+}

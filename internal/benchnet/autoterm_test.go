@@ -1,0 +1,88 @@
+package benchnet
+
+import (
+	"testing"
+	"time"
+)
+
+// replay feeds a synthetic run into the detector: every step, the cumulative
+// count grows by rate(t)·step. It returns the first time Stable fired, or -1.
+func replay(at *AutoTerm, step, total time.Duration, rate func(t time.Duration) float64) time.Duration {
+	var completed float64
+	for t := step; t <= total; t += step {
+		completed += rate(t) * step.Seconds()
+		at.Observe(t, uint64(completed))
+		if at.Stable() {
+			return t
+		}
+	}
+	return -1
+}
+
+func TestAutoTermStabilizes(t *testing.T) {
+	at := &AutoTerm{Dur: time.Second, Pct: 7.5}
+	fired := replay(at, 100*time.Millisecond, 5*time.Second, func(time.Duration) float64 { return 1000 })
+	if fired < 0 {
+		t.Fatal("constant throughput never declared stable")
+	}
+	if fired < at.Dur*9/10 {
+		t.Fatalf("stable at %v, before the %v window could fill", fired, at.Dur)
+	}
+}
+
+func TestAutoTermNeverStabilizesOnTrend(t *testing.T) {
+	// Throughput keeps climbing: each trailing window's second half beats its
+	// first by ~window/t relative — above 7.5% for the whole run.
+	at := &AutoTerm{Dur: time.Second, Pct: 7.5}
+	if fired := replay(at, 100*time.Millisecond, 4*time.Second, func(t time.Duration) float64 {
+		return 1000 * t.Seconds()
+	}); fired >= 0 {
+		t.Fatalf("climbing throughput declared stable at %v", fired)
+	}
+}
+
+func TestAutoTermNeverStabilizesOnOscillation(t *testing.T) {
+	// Square wave whose plateaus (700ms) don't divide the half-window: every
+	// trailing window's halves average different mixes of the two plateaus,
+	// so they keep disagreeing. (Plateau lengths commensurate with the
+	// half-window can alias to equal halves — that is the detector's blind
+	// spot, and why Pct should stay tight.)
+	at := &AutoTerm{Dur: time.Second, Pct: 7.5}
+	if fired := replay(at, 100*time.Millisecond, 6*time.Second, func(t time.Duration) float64 {
+		if int(t/(700*time.Millisecond))%2 == 0 {
+			return 200
+		}
+		return 1000
+	}); fired >= 0 {
+		t.Fatalf("oscillating throughput declared stable at %v", fired)
+	}
+}
+
+func TestAutoTermDisabledAndEdgeCases(t *testing.T) {
+	disabled := &AutoTerm{}
+	if fired := replay(disabled, 100*time.Millisecond, 3*time.Second, func(time.Duration) float64 { return 500 }); fired >= 0 {
+		t.Fatalf("zero-window detector declared stable at %v", fired)
+	}
+
+	at := &AutoTerm{Dur: time.Second}
+	at.Observe(time.Second, 100)
+	at.Observe(500*time.Millisecond, 50) // out of order: dropped
+	if got := len(at.samples); got != 1 {
+		t.Fatalf("out-of-order sample kept: %d samples", got)
+	}
+	if at.Stable() {
+		t.Fatal("one sample cannot be stable")
+	}
+}
+
+func TestAutoTermTrimsHistory(t *testing.T) {
+	at := &AutoTerm{Dur: time.Second}
+	for i := 1; i <= 1000; i++ {
+		at.Observe(time.Duration(i)*100*time.Millisecond, uint64(i*100))
+	}
+	// Samples older than 2× the window must be gone: 2s of history at 100ms
+	// spacing is ~21 samples, never 1000.
+	if got := len(at.samples); got > 25 {
+		t.Fatalf("history not trimmed: %d samples retained", got)
+	}
+}

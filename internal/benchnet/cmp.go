@@ -1,0 +1,192 @@
+package benchnet
+
+import (
+	"fmt"
+
+	"powerchief/internal/loadgen"
+)
+
+// Thresholds bounds how much worse the new run may be before Compare flags a
+// regression. Percent fields compare relative degradation; MaxErrRatePts is
+// an absolute error-rate increase in percentage points. Zero fields take the
+// defaults below; negative fields disable that check.
+type Thresholds struct {
+	MaxQPSDropPct float64 // achieved throughput drop (default 10)
+	MaxP50Pct     float64 // median latency increase (default 20)
+	MaxP99Pct     float64 // p99 increase (default 25)
+	MaxP999Pct    float64 // p99.9 increase (default 30)
+	MaxErrRatePts float64 // error-rate increase, percentage points (default 1)
+	// Force compares summaries even when their configuration differs —
+	// mismatches downgrade from refusal to warning.
+	Force bool
+}
+
+func defaulted(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// Regression is one metric that moved past its threshold.
+type Regression struct {
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// DeltaPct is the relative change in percent (positive = worse); for
+	// error rate it is the absolute change in percentage points.
+	DeltaPct float64 `json:"delta_pct"`
+	Limit    float64 `json:"limit"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.3f -> %.3f (%+.1f%%, limit %.1f%%)", r.Metric, r.Old, r.New, r.DeltaPct, r.Limit)
+}
+
+// Compare checks a new run against a baseline. It returns the regressions
+// that crossed their thresholds, plus non-fatal warnings (provenance drift,
+// config mismatches under Force). A non-nil error means the comparison was
+// refused outright: the two summaries describe different experiments
+// (target, schedule, rate, duration, seed or agent count differ) and
+// comparing them would be apples to oranges.
+func Compare(old, new loadgen.Summary, th Thresholds) ([]Regression, []string, error) {
+	var warns []string
+	mismatch := func(field, a, b string) error {
+		msg := fmt.Sprintf("%s differs: baseline %q vs new %q", field, a, b)
+		if th.Force {
+			warns = append(warns, msg+" (forced)")
+			return nil
+		}
+		return fmt.Errorf("benchnet: refusing to compare: %s (use force to override)", msg)
+	}
+	if old.Target != new.Target {
+		if err := mismatch("target", old.Target, new.Target); err != nil {
+			return nil, nil, err
+		}
+	}
+	if old.Schedule != new.Schedule {
+		if err := mismatch("schedule", old.Schedule, new.Schedule); err != nil {
+			return nil, nil, err
+		}
+	}
+	if old.RateQPS != new.RateQPS {
+		if err := mismatch("rate", fmt.Sprintf("%g", old.RateQPS), fmt.Sprintf("%g", new.RateQPS)); err != nil {
+			return nil, nil, err
+		}
+	}
+	if old.Duration != new.Duration {
+		if err := mismatch("duration", old.Duration, new.Duration); err != nil {
+			return nil, nil, err
+		}
+	}
+	if old.Seed != new.Seed {
+		if err := mismatch("seed", fmt.Sprintf("%d", old.Seed), fmt.Sprintf("%d", new.Seed)); err != nil {
+			return nil, nil, err
+		}
+	}
+	if old.SelfPaced != new.SelfPaced {
+		if err := mismatch("pacing", pacing(old.SelfPaced), pacing(new.SelfPaced)); err != nil {
+			return nil, nil, err
+		}
+	}
+	oa, na := agentsOf(old), agentsOf(new)
+	if oa != na {
+		if err := mismatch("agents", fmt.Sprintf("%d", oa), fmt.Sprintf("%d", na)); err != nil {
+			return nil, nil, err
+		}
+	}
+	warns = append(warns, provenanceWarnings(old.Provenance, new.Provenance)...)
+
+	oldQ, err := quantiles(old)
+	if err != nil {
+		return nil, nil, fmt.Errorf("benchnet: baseline: %w", err)
+	}
+	newQ, err := quantiles(new)
+	if err != nil {
+		return nil, nil, fmt.Errorf("benchnet: new run: %w", err)
+	}
+
+	var regs []Regression
+	// Throughput: a drop beyond the limit regresses.
+	if lim := defaulted(th.MaxQPSDropPct, 10); lim >= 0 && old.AchievedQPS > 0 {
+		drop := (old.AchievedQPS - new.AchievedQPS) / old.AchievedQPS * 100
+		if drop > lim {
+			regs = append(regs, Regression{Metric: "achieved_qps", Old: old.AchievedQPS, New: new.AchievedQPS, DeltaPct: -drop, Limit: lim})
+		}
+	}
+	// Latency quantiles: an increase beyond the limit regresses.
+	latency := []struct {
+		name     string
+		old, new float64
+		lim      float64
+	}{
+		{"latency_p50_ms", oldQ.P50, newQ.P50, defaulted(th.MaxP50Pct, 20)},
+		{"latency_p99_ms", oldQ.P99, newQ.P99, defaulted(th.MaxP99Pct, 25)},
+		{"latency_p999_ms", oldQ.P999, newQ.P999, defaulted(th.MaxP999Pct, 30)},
+	}
+	for _, m := range latency {
+		if m.lim < 0 || m.old <= 0 {
+			continue
+		}
+		rise := (m.new - m.old) / m.old * 100
+		if rise > m.lim {
+			regs = append(regs, Regression{Metric: m.name, Old: m.old, New: m.new, DeltaPct: rise, Limit: m.lim})
+		}
+	}
+	// Error rate: absolute percentage-point increase.
+	if lim := defaulted(th.MaxErrRatePts, 1); lim >= 0 {
+		oldErr, newErr := errRatePct(old), errRatePct(new)
+		if newErr-oldErr > lim {
+			regs = append(regs, Regression{Metric: "error_rate_pct", Old: oldErr, New: newErr, DeltaPct: newErr - oldErr, Limit: lim})
+		}
+	}
+	return regs, warns, nil
+}
+
+func pacing(selfPaced bool) string {
+	if selfPaced {
+		return "self-paced"
+	}
+	return "open-loop"
+}
+
+func agentsOf(s loadgen.Summary) int {
+	if s.Agents <= 0 {
+		return 1
+	}
+	return s.Agents
+}
+
+func errRatePct(s loadgen.Summary) float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.Errors) / float64(s.Issued) * 100
+}
+
+// quantiles prefers deriving from the serialized histogram (the exact,
+// mergeable record) and falls back to the stored quantile block for
+// artifacts predating the histogram field.
+func quantiles(s loadgen.Summary) (loadgen.Quantiles, error) {
+	if s.LatencyHist != nil {
+		return loadgen.QuantilesFromDigest(s.LatencyHist)
+	}
+	return s.LatencyMS, nil
+}
+
+func provenanceWarnings(old, new *loadgen.Provenance) []string {
+	if old == nil || new == nil {
+		return nil
+	}
+	var w []string
+	if old.GitRevision != new.GitRevision {
+		w = append(w, fmt.Sprintf("git revision drift: baseline %s vs new %s", old.GitRevision, new.GitRevision))
+	}
+	if old.GoVersion != new.GoVersion {
+		w = append(w, fmt.Sprintf("go toolchain drift: baseline %s vs new %s", old.GoVersion, new.GoVersion))
+	}
+	if old.Hostname != new.Hostname {
+		w = append(w, fmt.Sprintf("host drift: baseline %s vs new %s", old.Hostname, new.Hostname))
+	}
+	return w
+}

@@ -1,0 +1,217 @@
+package benchnet
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"powerchief/internal/loadgen"
+	"powerchief/internal/rpc"
+	"powerchief/internal/telemetry"
+)
+
+// Options configures one coordinated run.
+type Options struct {
+	// Addrs are the agents to fan out to (required). Agent i runs shard i of
+	// len(Addrs).
+	Addrs []string
+	// Spec is the run to ship. Proto and the shard coordinates are filled in
+	// by the coordinator.
+	Spec RunSpec
+	// StartDelay is the margin between arming the agents and the common
+	// start epoch — enough for every start call to land (default 500ms).
+	StartDelay time.Duration
+	// Poll is the progress-poll interval (default 250ms).
+	Poll time.Duration
+	// AutoTermDur enables throughput auto-termination over this trailing
+	// window; zero runs the full horizon.
+	AutoTermDur time.Duration
+	// AutoTermPct is the allowed half-window throughput deviation in percent
+	// (default 7.5).
+	AutoTermPct float64
+	// Metrics, when set, exports the coordinator's cluster-wide live series.
+	Metrics *telemetry.Registry
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.StartDelay <= 0 {
+		o.StartDelay = 500 * time.Millisecond
+	}
+	if o.Poll <= 0 {
+		o.Poll = 250 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// coordStats is the scrape-time view of an in-flight coordinated run.
+type coordStats struct {
+	agents    atomic.Int64
+	active    atomic.Int64
+	completed atomic.Uint64
+	errors    atomic.Uint64
+	qps       atomic.Uint64 // float64 bits
+	stable    atomic.Int64
+}
+
+func (cs *coordStats) register(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("benchnet_agents", "Benchmark agents in the coordinated run.",
+		func() float64 { return float64(cs.agents.Load()) })
+	reg.GaugeFunc("benchnet_run_active", "1 while a coordinated run is in flight.",
+		func() float64 { return float64(cs.active.Load()) })
+	reg.CounterFunc("benchnet_ops_completed_total", "Cluster-wide completed operations.",
+		func() float64 { return float64(cs.completed.Load()) })
+	reg.CounterFunc("benchnet_errors_total", "Cluster-wide operation errors.",
+		func() float64 { return float64(cs.errors.Load()) })
+	reg.GaugeFunc("benchnet_throughput_qps", "Cluster-wide throughput since the epoch.",
+		func() float64 { return math.Float64frombits(cs.qps.Load()) })
+	reg.GaugeFunc("benchnet_autoterm_stable", "1 once throughput auto-termination has fired.",
+		func() float64 { return float64(cs.stable.Load()) })
+}
+
+// Coordinate runs one distributed benchmark: handshake every agent, fan the
+// spec out with stride shards and a common epoch, poll progress until every
+// shard finishes (stopping all of them early once throughput stabilizes),
+// then merge the per-agent summaries into one cluster-wide result.
+func Coordinate(o Options) (loadgen.Summary, error) {
+	o = o.withDefaults()
+	if len(o.Addrs) == 0 {
+		return loadgen.Summary{}, fmt.Errorf("benchnet: coordinate needs at least one agent")
+	}
+	spec := o.Spec
+	spec.Proto = ProtoVersion
+	spec.ShardCount = len(o.Addrs)
+	if err := spec.Validate(); err != nil {
+		return loadgen.Summary{}, err
+	}
+
+	var cs coordStats
+	cs.register(o.Metrics)
+	cs.agents.Store(int64(len(o.Addrs)))
+	cs.active.Store(1)
+	defer cs.active.Store(0)
+
+	// Dial and handshake every agent before arming anyone: version skew or a
+	// dead address fails the run before any load is generated.
+	clients := make([]*rpc.Client, len(o.Addrs))
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for i, addr := range o.Addrs {
+		c, err := rpc.DialOptions(addr, rpc.ClientOptions{CallTimeout: 30 * time.Second})
+		if err != nil {
+			return loadgen.Summary{}, fmt.Errorf("benchnet: dialing agent %s: %w", addr, err)
+		}
+		clients[i] = c
+		var hello HelloReply
+		if err := c.Call(MethodHello, HelloArgs{Proto: ProtoVersion}, &hello); err != nil {
+			return loadgen.Summary{}, fmt.Errorf("benchnet: handshake with %s: %w", addr, err)
+		}
+		if hello.Proto != ProtoVersion {
+			return loadgen.Summary{}, fmt.Errorf("benchnet: agent %s speaks proto %d, coordinator speaks %d",
+				addr, hello.Proto, ProtoVersion)
+		}
+		o.Logf("benchnet: agent %d/%d at %s (%s, go %s, rev %.12s)",
+			i+1, len(o.Addrs), addr,
+			hello.Provenance.Hostname, hello.Provenance.GoVersion, hello.Provenance.GitRevision)
+	}
+
+	// Arm every shard against one wall-clock epoch far enough out that all
+	// start calls land first.
+	epoch := time.Now().Add(o.StartDelay)
+	for i, c := range clients {
+		s := spec
+		s.ShardIndex = i
+		if err := c.Call(MethodStart, StartArgs{Spec: s, StartAtUnixNano: epoch.UnixNano()}, nil); err != nil {
+			stopAll(clients)
+			return loadgen.Summary{}, fmt.Errorf("benchnet: starting shard %d on %s: %w", i, o.Addrs[i], err)
+		}
+	}
+	o.Logf("benchnet: %d shards armed, epoch in %v", len(clients), o.StartDelay)
+
+	at := &AutoTerm{Dur: o.AutoTermDur, Pct: o.AutoTermPct}
+	stopped := false
+	lastLog := time.Time{}
+	for {
+		time.Sleep(o.Poll)
+		allDone := true
+		var issued, completed, errs uint64
+		for i, c := range clients {
+			var p ProgressReply
+			if err := c.CallRetry(MethodProgress, struct{}{}, &p); err != nil {
+				stopAll(clients)
+				return loadgen.Summary{}, fmt.Errorf("benchnet: progress from %s: %w", o.Addrs[i], err)
+			}
+			if p.Failed != "" {
+				stopAll(clients)
+				return loadgen.Summary{}, fmt.Errorf("benchnet: shard %d on %s failed: %s", i, o.Addrs[i], p.Failed)
+			}
+			allDone = allDone && p.Done
+			issued += p.Issued
+			completed += p.Completed
+			errs += p.Errors
+		}
+		cs.completed.Store(completed)
+		cs.errors.Store(errs)
+		elapsed := time.Since(epoch)
+		if elapsed > 0 {
+			cs.qps.Store(math.Float64bits(float64(completed) / elapsed.Seconds()))
+		}
+		if allDone {
+			break
+		}
+		if elapsed > 0 {
+			at.Observe(elapsed, completed)
+		}
+		if !stopped && at.Stable() {
+			stopped = true
+			cs.stable.Store(1)
+			o.Logf("benchnet: throughput stable within %.1f%% over %v — stopping %d shards early",
+				at.pct(), o.AutoTermDur, len(clients))
+			stopAll(clients)
+		}
+		if now := time.Now(); now.Sub(lastLog) >= time.Second {
+			lastLog = now
+			o.Logf("benchnet: t=%v issued=%d completed=%d errors=%d", elapsed.Round(time.Millisecond), issued, completed, errs)
+		}
+	}
+
+	sums := make([]loadgen.Summary, len(clients))
+	for i, c := range clients {
+		var r ResultReply
+		if err := c.CallRetry(MethodResult, struct{}{}, &r); err != nil {
+			return loadgen.Summary{}, fmt.Errorf("benchnet: result from %s: %w", o.Addrs[i], err)
+		}
+		sums[i] = r.Summary
+	}
+	merged, err := Merge(sums)
+	if err != nil {
+		return loadgen.Summary{}, err
+	}
+	if stopped {
+		merged.StoppedEarly = true
+	}
+	return merged, nil
+}
+
+// stopAll broadcasts bench.stop, best-effort: agents that already finished
+// (or died) are fine to miss it.
+func stopAll(clients []*rpc.Client) {
+	for _, c := range clients {
+		if c != nil {
+			_ = c.Call(MethodStop, struct{}{}, nil)
+		}
+	}
+}

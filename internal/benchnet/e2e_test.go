@@ -1,0 +1,234 @@
+package benchnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/loadgen"
+)
+
+// stubTarget completes every op after a fixed wall delay — a fast, boring
+// system under test for protocol-level tests.
+type stubTarget struct{ delay time.Duration }
+
+func (s stubTarget) Name() string         { return "stub" }
+func (s stubTarget) Do(*loadgen.Op) error { time.Sleep(s.delay); return nil }
+func (s stubTarget) Close() error         { return nil }
+
+func stubBuilder(delay time.Duration) TargetBuilder {
+	return func(RunSpec) (loadgen.Target, func(*rand.Rand) [][]time.Duration, error) {
+		draw := func(*rand.Rand) [][]time.Duration { return [][]time.Duration{{time.Millisecond}} }
+		return stubTarget{delay: delay}, draw, nil
+	}
+}
+
+// startAgents brings up n in-process agents and returns their addresses.
+func startAgents(t *testing.T, n int, build TargetBuilder) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ag := NewAgent(build, nil)
+		addr, err := ag.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ag.Close() })
+		addrs[i] = addr
+	}
+	return addrs
+}
+
+func stubSpec() RunSpec {
+	return RunSpec{
+		Target: "stub", App: "stub", Arrivals: "constant",
+		RateQPS: 400, Duration: 30 * time.Second, Workers: 8, Seed: 3,
+	}
+}
+
+// TestCoordinateAutoTerminates drives two agents at a constant rate with a
+// 30s horizon and a short stabilization window: the coordinator must cut the
+// run early and mark the merged summary.
+func TestCoordinateAutoTerminates(t *testing.T) {
+	addrs := startAgents(t, 2, stubBuilder(time.Millisecond))
+	began := time.Now()
+	merged, err := Coordinate(Options{
+		Addrs:       addrs,
+		Spec:        stubSpec(),
+		StartDelay:  100 * time.Millisecond,
+		Poll:        50 * time.Millisecond,
+		AutoTermDur: 700 * time.Millisecond,
+		AutoTermPct: 25,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(began); took > 15*time.Second {
+		t.Fatalf("auto-termination did not cut the 30s horizon (took %v)", took)
+	}
+	if !merged.StoppedEarly {
+		t.Fatal("merged summary not marked StoppedEarly")
+	}
+	if merged.Agents != 2 {
+		t.Fatalf("Agents = %d, want 2", merged.Agents)
+	}
+	if merged.Completed == 0 {
+		t.Fatal("no operations completed before termination")
+	}
+	if merged.LatencyHist == nil {
+		t.Fatal("merged summary lost its histogram")
+	}
+}
+
+// TestAgentProtocolErrors pins the protocol edges: version skew, double
+// start, result-before-done, progress with no run.
+func TestAgentProtocolErrors(t *testing.T) {
+	ag := NewAgent(stubBuilder(time.Millisecond), nil)
+	defer ag.Close()
+
+	if _, err := ag.hello(HelloArgs{Proto: ProtoVersion + 1}); err == nil {
+		t.Fatal("agent accepted a foreign protocol version")
+	}
+	if _, err := ag.progress(struct{}{}); err == nil {
+		t.Fatal("progress with no run did not error")
+	}
+
+	spec := stubSpec()
+	spec.Proto = ProtoVersion
+	epoch := time.Now().Add(50 * time.Millisecond)
+	if _, err := ag.start(StartArgs{Spec: spec, StartAtUnixNano: epoch.UnixNano()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ag.start(StartArgs{Spec: spec, StartAtUnixNano: epoch.UnixNano()}); err == nil {
+		t.Fatal("agent accepted a second run while one is in flight")
+	}
+	if _, err := ag.result(struct{}{}); err == nil {
+		t.Fatal("result before the run finished did not error")
+	}
+
+	badSpec := spec
+	badSpec.Proto = 0
+	if _, err := ag.start(StartArgs{Spec: badSpec}); err == nil {
+		t.Fatal("agent accepted a spec without a protocol version")
+	}
+}
+
+// distSpec is the acceptance-run configuration: a dist target at low
+// utilization with a coarse histogram (growth 1.25), so run-to-run scheduler
+// jitter stays well under one bin width.
+func distSpec() RunSpec {
+	return RunSpec{
+		Target: "dist", App: "websearch", Instances: []int{2, 1},
+		Level: int(cmp.MidLevel), Cores: 16, TimeScale: 0.3,
+		Arrivals: "constant", RateQPS: 14, Duration: 3500 * time.Millisecond,
+		Warmup: 500 * time.Millisecond, Workers: 8, Seed: 11, HistGrowth: 1.25,
+	}
+}
+
+// TestCoordinatedDistMatchesSingleProcess is the acceptance test: a
+// coordinator fanning 4 agents out over real RPC against one shared dist
+// deployment must produce a merged summary whose op count equals — and whose
+// p50/p99/p999 sit within one histogram bin width of — a single process
+// running the identical seed and schedule.
+func TestCoordinatedDistMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second distributed run")
+	}
+	spec := distSpec()
+
+	// The shared system under test: one set of stage services all agents hit.
+	shared := spec
+	addrs, closeSvcs, err := HostStageServices(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared.Addrs = addrs
+
+	agents := startAgents(t, 4, nil) // nil builder: the real BuildTarget
+	merged, err := Coordinate(Options{
+		Addrs: agents,
+		Spec:  shared,
+		Poll:  100 * time.Millisecond,
+		Logf:  t.Logf,
+	})
+	closeSvcs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The reference: one process, identical spec, its own fresh deployment.
+	single := runSingleProcess(t, spec)
+
+	if merged.Agents != 4 {
+		t.Fatalf("merged Agents = %d, want 4", merged.Agents)
+	}
+	if merged.Issued != single.Issued {
+		t.Fatalf("sharded run issued %d ops, single process %d — the shards did not partition the schedule",
+			merged.Issued, single.Issued)
+	}
+	if merged.Errors != single.Errors {
+		t.Fatalf("errors differ: merged %d vs single %d", merged.Errors, single.Errors)
+	}
+
+	// The count assertions above are timing-independent; the quantile
+	// comparison below is wall-clock and the race detector's instrumentation
+	// overhead inflates the sharded run's tail far past any tolerance.
+	if raceEnabled {
+		t.Skip("wall-clock latency comparison is invalid under the race detector")
+	}
+
+	// One histogram bin at growth g spans [v, v·g): two measurements of the
+	// same population land within one bin width when their ratio is < g².
+	// (Adjacent bins: representative values differ by exactly a factor g.)
+	binTol := spec.HistGrowth * spec.HistGrowth
+	for _, q := range []struct {
+		name     string
+		got, ref float64
+	}{
+		{"p50", merged.LatencyMS.P50, single.LatencyMS.P50},
+		{"p99", merged.LatencyMS.P99, single.LatencyMS.P99},
+		{"p999", merged.LatencyMS.P999, single.LatencyMS.P999},
+	} {
+		if q.ref <= 0 {
+			t.Fatalf("single-process %s is zero", q.name)
+		}
+		ratio := q.got / q.ref
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio >= binTol {
+			t.Errorf("%s: merged %.2fms vs single %.2fms — beyond one bin width (ratio %.3f, tolerance %.3f)",
+				q.name, q.got, q.ref, ratio, binTol)
+		}
+	}
+}
+
+// runSingleProcess executes the spec in-process, unsharded, self-hosting its
+// own deployment.
+func runSingleProcess(t *testing.T, spec RunSpec) loadgen.Summary {
+	t.Helper()
+	target, draw, err := BuildTarget(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	sched, err := loadgen.ParseSchedule(spec.Arrivals, spec.RateQPS, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loadgen.Run(target, loadgen.Options{
+		Schedule:   sched,
+		Duration:   spec.Duration,
+		Warmup:     spec.Warmup,
+		Workers:    spec.Workers,
+		Seed:       spec.Seed,
+		DrawWork:   draw,
+		HistGrowth: spec.HistGrowth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loadgen.Summarize(res)
+}

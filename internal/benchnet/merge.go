@@ -1,0 +1,151 @@
+package benchnet
+
+import (
+	"fmt"
+	"time"
+
+	"powerchief/internal/loadgen"
+	"powerchief/internal/stats"
+)
+
+// Merge folds N per-agent summaries into one cluster-wide summary. The
+// agents ran stride shards of one global schedule against one shared target,
+// so counts add, wall time is the slowest agent, and the latency
+// distributions merge exactly via their histogram digests — the derived
+// quantile block is identical to what a single process recording the union
+// of samples would have reported.
+func Merge(sums []loadgen.Summary) (loadgen.Summary, error) {
+	if len(sums) == 0 {
+		return loadgen.Summary{}, fmt.Errorf("benchnet: nothing to merge")
+	}
+	base := sums[0]
+	for i, s := range sums[1:] {
+		if s.Target != base.Target || s.Schedule != base.Schedule ||
+			s.Duration != base.Duration || s.Warmup != base.Warmup ||
+			s.Seed != base.Seed || s.SelfPaced != base.SelfPaced {
+			return loadgen.Summary{}, fmt.Errorf("benchnet: agent %d ran a different config (%s/%s seed %d) than agent 0 (%s/%s seed %d)",
+				i+1, s.Target, s.Schedule, s.Seed, base.Target, base.Schedule, base.Seed)
+		}
+		if s.LatencyHist == nil || base.LatencyHist == nil {
+			return loadgen.Summary{}, fmt.Errorf("benchnet: summary without latency histogram cannot merge")
+		}
+		if s.LatencyHist.Growth != base.LatencyHist.Growth {
+			return loadgen.Summary{}, fmt.Errorf("benchnet: histogram growth mismatch: %.4f vs %.4f",
+				s.LatencyHist.Growth, base.LatencyHist.Growth)
+		}
+	}
+	if base.LatencyHist == nil {
+		return loadgen.Summary{}, fmt.Errorf("benchnet: summary without latency histogram cannot merge")
+	}
+
+	out := base
+	out.Agents = 0
+	out.RateQPS = 0
+	out.Workers = 0
+	out.Issued, out.Completed, out.Trimmed, out.Errors = 0, 0, 0, 0
+	out.WallMS = 0
+	out.StoppedEarly = false
+	latDs := make([]*stats.HistogramDigest, 0, len(sums))
+	svcDs := make([]*stats.HistogramDigest, 0, len(sums))
+	for _, s := range sums {
+		n := s.Agents
+		if n <= 0 {
+			n = 1
+		}
+		out.Agents += n
+		out.RateQPS += s.RateQPS
+		out.Workers += s.Workers
+		out.Issued += s.Issued
+		out.Completed += s.Completed
+		out.Trimmed += s.Trimmed
+		out.Errors += s.Errors
+		if s.WallMS > out.WallMS {
+			out.WallMS = s.WallMS
+		}
+		out.StoppedEarly = out.StoppedEarly || s.StoppedEarly
+		latDs = append(latDs, s.LatencyHist)
+		if s.ServiceHist != nil {
+			svcDs = append(svcDs, s.ServiceHist)
+		}
+	}
+
+	lat, err := stats.MergeDigests(latDs...)
+	if err != nil {
+		return loadgen.Summary{}, fmt.Errorf("benchnet: merging latency histograms: %w", err)
+	}
+	out.LatencyHist = lat.Digest()
+	if out.LatencyMS, err = loadgen.QuantilesFromDigest(out.LatencyHist); err != nil {
+		return loadgen.Summary{}, err
+	}
+	out.ServiceMS, out.ServiceHist = nil, nil
+	if len(svcDs) == len(sums) {
+		svc, err := stats.MergeDigests(svcDs...)
+		if err != nil {
+			return loadgen.Summary{}, fmt.Errorf("benchnet: merging service histograms: %w", err)
+		}
+		out.ServiceHist = svc.Digest()
+		q, err := loadgen.QuantilesFromDigest(out.ServiceHist)
+		if err != nil {
+			return loadgen.Summary{}, err
+		}
+		out.ServiceMS = &q
+	}
+
+	out.AchievedQPS = mergedAchievedQPS(out, sums)
+	out.Provenance = mergeProvenance(sums, out.Agents)
+	return out, nil
+}
+
+// mergedAchievedQPS recomputes throughput over the merged run: the union of
+// completions over the span one process would have taken. For open-loop runs
+// that is the slowest agent's wall clock; for self-paced (closed-loop) runs,
+// the generation horizon minus warmup, matching loadgen's own accounting.
+func mergedAchievedQPS(out loadgen.Summary, sums []loadgen.Summary) float64 {
+	spanMS := out.WallMS
+	if out.SelfPaced {
+		if d, err := time.ParseDuration(out.Duration); err == nil {
+			span := d
+			if out.Warmup != "" {
+				if w, err := time.ParseDuration(out.Warmup); err == nil && w < span {
+					span -= w
+				}
+			}
+			spanMS = float64(span) / float64(time.Millisecond)
+		}
+	}
+	if spanMS <= 0 {
+		return 0
+	}
+	return float64(out.Completed) / (spanMS / 1000)
+}
+
+// mergeProvenance keeps fields all agents agree on and marks divergent ones
+// "mixed" — a heterogeneous fleet is visible in the artifact, and cmp will
+// warn about it.
+func mergeProvenance(sums []loadgen.Summary, agents int) *loadgen.Provenance {
+	var p *loadgen.Provenance
+	for _, s := range sums {
+		if s.Provenance == nil {
+			continue
+		}
+		if p == nil {
+			cp := *s.Provenance
+			p = &cp
+			continue
+		}
+		if s.Provenance.GitRevision != p.GitRevision {
+			p.GitRevision = "mixed"
+		}
+		if s.Provenance.GoVersion != p.GoVersion {
+			p.GoVersion = "mixed"
+		}
+		if s.Provenance.Hostname != p.Hostname {
+			p.Hostname = "mixed"
+		}
+	}
+	if p == nil {
+		return nil
+	}
+	p.Agents = agents
+	return p
+}

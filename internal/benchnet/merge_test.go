@@ -1,0 +1,161 @@
+package benchnet
+
+import (
+	"testing"
+	"time"
+
+	"powerchief/internal/loadgen"
+	"powerchief/internal/stats"
+)
+
+// benchSamples is a deterministic latency population with a long tail.
+func benchSamples(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		d := time.Duration(1+i%97) * time.Millisecond
+		if i%50 == 0 {
+			d *= 12 // tail
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// summaryOf builds a single-agent summary over the given latency samples.
+func summaryOf(samples []time.Duration, growth float64, wallMS float64, prov loadgen.Provenance) loadgen.Summary {
+	h := stats.NewHistogram(growth)
+	for _, s := range samples {
+		h.Observe(s)
+	}
+	d := h.Digest()
+	q, err := loadgen.QuantilesFromDigest(d)
+	if err != nil {
+		panic(err)
+	}
+	n := uint64(len(samples))
+	return loadgen.Summary{
+		Target: "dist", Schedule: "poisson", RateQPS: 25, Duration: "10s",
+		Workers: 8, Seed: 7, Agents: 1,
+		Issued: n, Completed: n,
+		WallMS: wallMS, AchievedQPS: float64(n) / (wallMS / 1000),
+		LatencyMS: q, LatencyHist: d,
+		Provenance: &prov,
+	}
+}
+
+func TestMergeShardedSummariesExact(t *testing.T) {
+	const shards = 4
+	all := benchSamples(8000)
+	parts := make([][]time.Duration, shards)
+	for i, s := range all {
+		parts[i%shards] = append(parts[i%shards], s)
+	}
+	prov := loadgen.Provenance{GitRevision: "abc", GoVersion: "go1.22", Hostname: "host-a", Agents: 1}
+	sums := make([]loadgen.Summary, shards)
+	for i, p := range parts {
+		sums[i] = summaryOf(p, 1.05, float64(9000+i*100), prov)
+	}
+
+	merged, err := Merge(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Agents != shards {
+		t.Fatalf("Agents = %d, want %d", merged.Agents, shards)
+	}
+	if merged.Issued != 8000 || merged.Completed != 8000 {
+		t.Fatalf("counts = %d/%d, want 8000/8000", merged.Issued, merged.Completed)
+	}
+	if merged.WallMS != 9300 {
+		t.Fatalf("WallMS = %v, want the slowest agent's 9300", merged.WallMS)
+	}
+	if want := 8000 / 9.3; absDiff(merged.AchievedQPS, want) > 1e-9 {
+		t.Fatalf("AchievedQPS = %v, want %v", merged.AchievedQPS, want)
+	}
+
+	// The merged quantiles must equal a single histogram over the union —
+	// the distributions merge exactly, not approximately.
+	whole := stats.NewHistogram(1.05)
+	for _, s := range all {
+		whole.Observe(s)
+	}
+	for _, q := range []struct {
+		name      string
+		got, want time.Duration
+	}{
+		{"p50", quantileMS(t, merged, 0.50), whole.Quantile(0.50)},
+		{"p99", quantileMS(t, merged, 0.99), whole.Quantile(0.99)},
+		{"p999", quantileMS(t, merged, 0.999), whole.Quantile(0.999)},
+	} {
+		if q.got != q.want {
+			t.Fatalf("merged %s = %v, single-histogram %s = %v", q.name, q.got, q.name, q.want)
+		}
+	}
+	if merged.Provenance == nil || merged.Provenance.Agents != shards || merged.Provenance.Hostname != "host-a" {
+		t.Fatalf("merged provenance = %+v", merged.Provenance)
+	}
+}
+
+func quantileMS(t *testing.T, s loadgen.Summary, p float64) time.Duration {
+	t.Helper()
+	h, err := stats.FromDigest(s.LatencyHist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h.Quantile(p)
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestMergeRefusesMismatches(t *testing.T) {
+	prov := loadgen.Provenance{Hostname: "h"}
+	a := summaryOf(benchSamples(100), 1.05, 1000, prov)
+	b := summaryOf(benchSamples(100), 1.05, 1000, prov)
+
+	b.Seed = 99
+	if _, err := Merge([]loadgen.Summary{a, b}); err == nil {
+		t.Fatal("merge accepted summaries with different seeds")
+	}
+
+	c := summaryOf(benchSamples(100), 1.25, 1000, prov)
+	if _, err := Merge([]loadgen.Summary{a, c}); err == nil {
+		t.Fatal("merge accepted summaries with different histogram growth")
+	}
+
+	d := a
+	d.LatencyHist = nil
+	if _, err := Merge([]loadgen.Summary{a, d}); err == nil {
+		t.Fatal("merge accepted a summary without a histogram")
+	}
+
+	if _, err := Merge(nil); err == nil {
+		t.Fatal("merge accepted an empty set")
+	}
+}
+
+func TestMergeMarksDivergentProvenance(t *testing.T) {
+	a := summaryOf(benchSamples(100), 1.05, 1000, loadgen.Provenance{GitRevision: "abc", GoVersion: "go1.22", Hostname: "host-a"})
+	b := summaryOf(benchSamples(100), 1.05, 1000, loadgen.Provenance{GitRevision: "def", GoVersion: "go1.22", Hostname: "host-b"})
+	merged, err := Merge([]loadgen.Summary{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := merged.Provenance
+	if p == nil {
+		t.Fatal("merged summary lost provenance")
+	}
+	if p.GitRevision != "mixed" || p.Hostname != "mixed" {
+		t.Fatalf("divergent fields not marked mixed: %+v", p)
+	}
+	if p.GoVersion != "go1.22" {
+		t.Fatalf("agreeing go version not kept: %+v", p)
+	}
+	if p.Agents != 2 {
+		t.Fatalf("Agents = %d, want 2", p.Agents)
+	}
+}

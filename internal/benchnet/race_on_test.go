@@ -1,0 +1,7 @@
+//go:build race
+
+package benchnet
+
+// raceEnabled reports whether the race detector instruments this build.
+// Wall-clock latency assertions are meaningless under its overhead.
+const raceEnabled = true

@@ -31,6 +31,19 @@ type Options struct {
 	// many epochs before it competes for extra watts again (default 3) —
 	// the guard against a flapping node repeatedly draining the pool.
 	CooldownEpochs int
+	// StrictCap closes the fail-open window around quarantine: watts
+	// reclaimed from a quarantined node are held out of the distributable
+	// pool for HoldEpochs control epochs before re-granting. A partitioned
+	// node cannot see the reclamation — it keeps drawing its old grant until
+	// its own partition detection self-fences it — so re-granting those
+	// watts immediately can push the cluster's physical draw over the cap.
+	// The hold keeps Σ physical draw ≤ budget through the heal, trading one
+	// detection-timeout of throughput for the guarantee.
+	StrictCap bool
+	// HoldEpochs is how many control epochs a strict-cap hold lasts
+	// (default SuspectAfter — the same number of epochs a silent node needs
+	// to notice it has been cut off).
+	HoldEpochs int
 	// Now supplies audit timestamps (the DES engine's Now in simulation);
 	// nil reads as zero.
 	Now func() time.Duration
@@ -48,7 +61,20 @@ func (o Options) withDefaults() Options {
 	if o.CooldownEpochs <= 0 {
 		o.CooldownEpochs = 3
 	}
+	if o.HoldEpochs <= 0 {
+		o.HoldEpochs = o.SuspectAfter
+	}
 	return o
+}
+
+// hold is one strict-cap quarantine hold: watts reclaimed from a node but
+// kept out of the pool until the adjust epoch `until` (or until the node is
+// re-admitted, which proves it accepted a fresh grant and stopped drawing
+// the old one).
+type hold struct {
+	node  string
+	watts cmp.Watts
+	until uint64
 }
 
 // nodeState is the coordinator's ledger entry for one node. It implements
@@ -141,9 +167,11 @@ type Coordinator struct {
 	// them); mu guards the ledger underneath.
 	adjustMu sync.Mutex
 
-	mu    sync.Mutex
-	nodes []*nodeState
-	epoch uint64 // global fencing epoch; every grant carries a fresh value
+	mu      sync.Mutex
+	nodes   []*nodeState
+	epoch   uint64 // global fencing epoch; every grant carries a fresh value
+	adjusts uint64 // control epochs completed; strict-cap holds expire on it
+	holds   []hold
 
 	quarantines  atomic.Uint64
 	readmissions atomic.Uint64
@@ -201,6 +229,13 @@ func (c *Coordinator) Adjust(policy core.Policy) (core.BoostOutcome, error) {
 	c.adjustMu.Lock()
 	defer c.adjustMu.Unlock()
 
+	// Advance the control epoch and release strict-cap holds that have aged
+	// out: a node silent this long has self-fenced, so its watts are free.
+	c.mu.Lock()
+	c.adjusts++
+	c.expireHoldsLocked()
+	c.mu.Unlock()
+
 	// Heartbeat pass, stable order. Quarantined nodes are probed for
 	// re-admission instead.
 	for _, n := range c.nodes {
@@ -252,11 +287,18 @@ func (c *Coordinator) Adjust(policy core.Policy) (core.BoostOutcome, error) {
 		n.granted = 0
 		c.epoch++
 		n.epoch = c.epoch
+		detail := "quarantine reclaim"
+		if c.opts.StrictCap {
+			// The node may still be drawing these watts; hold them out of the
+			// pool until it has had time to self-fence.
+			c.holds = append(c.holds, hold{node: n.name, watts: w, until: c.adjusts + uint64(c.opts.HoldEpochs)})
+			detail = "quarantine reclaim (held)"
+		}
 		c.mu.Unlock()
 		if c.opts.Audit.Enabled() {
 			c.opts.Audit.Record(telemetry.Event{
 				Time: c.now(), Kind: telemetry.EventSetBudget, Node: n.name,
-				PrevWatts: float64(w), GrantedWatts: 0, Detail: "quarantine reclaim",
+				PrevWatts: float64(w), GrantedWatts: 0, Detail: detail,
 			})
 		}
 	}
@@ -337,17 +379,56 @@ func (c *Coordinator) tryReadmit(n *nodeState) {
 	if !stale {
 		n.metric = rep.Metric
 	}
+	// The node just accepted a fresh fenced grant, so it stopped drawing
+	// whatever it held before quarantine: its strict-cap hold can go.
+	c.releaseHoldsLocked(n.name)
 	c.mu.Unlock()
 	c.setHealth(n, fault.Healthy)
 }
 
-// drawLocked sums the ledger; caller holds c.mu.
+// drawLocked sums the ledger plus any strict-cap holds; caller holds c.mu.
+// Counting held watts as draw is what keeps them out of the planner's pool
+// (avail = Budget − (Draw − healthyGranted)) without the planner knowing
+// holds exist.
 func (c *Coordinator) drawLocked() cmp.Watts {
 	var sum cmp.Watts
 	for _, n := range c.nodes {
 		sum += n.granted
 	}
+	return sum + c.heldLocked()
+}
+
+// heldLocked sums live strict-cap holds; caller holds c.mu.
+func (c *Coordinator) heldLocked() cmp.Watts {
+	var sum cmp.Watts
+	for _, h := range c.holds {
+		sum += h.watts
+	}
 	return sum
+}
+
+// expireHoldsLocked drops holds whose epoch has passed; caller holds c.mu.
+func (c *Coordinator) expireHoldsLocked() {
+	kept := c.holds[:0]
+	for _, h := range c.holds {
+		if h.until > c.adjusts {
+			kept = append(kept, h)
+		}
+	}
+	c.holds = kept
+}
+
+// releaseHoldsLocked frees every hold on one node — called when the node is
+// re-admitted, which proves it accepted a fenced grant and no longer draws
+// the reclaimed watts. Caller holds c.mu.
+func (c *Coordinator) releaseHoldsLocked(name string) {
+	kept := c.holds[:0]
+	for _, h := range c.holds {
+		if h.node != name {
+			kept = append(kept, h)
+		}
+	}
+	c.holds = kept
 }
 
 // noteFailure feeds one failed exchange into the health state machine.
@@ -465,7 +546,8 @@ func (c *Coordinator) Budget() cmp.Watts { return c.opts.Budget }
 
 // Draw implements core.System: the sum of granted node budgets — including
 // quarantined nodes that have not been reclaimed yet, since a partitioned
-// node may still be consuming its grant.
+// node may still be consuming its grant, plus strict-cap holds on watts
+// reclaimed but not yet safe to re-grant.
 func (c *Coordinator) Draw() cmp.Watts {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -538,6 +620,14 @@ func (c *Coordinator) Granted() map[string]cmp.Watts {
 	return out
 }
 
+// HeldWatts returns the watts under strict-cap quarantine holds: reclaimed
+// from quarantined nodes but not yet returned to the distributable pool.
+func (c *Coordinator) HeldWatts() cmp.Watts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.heldLocked()
+}
+
 // Epoch returns the global fencing epoch.
 func (c *Coordinator) Epoch() uint64 {
 	c.mu.Lock()
@@ -576,6 +666,9 @@ func (c *Coordinator) RegisterMetrics(reg *telemetry.Registry) {
 			}
 			return float64(q)
 		})
+	reg.GaugeFunc("powerchief_fleet_held_watts",
+		"Watts under strict-cap quarantine holds, kept out of the pool.",
+		func() float64 { return float64(c.HeldWatts()) })
 	reg.CounterFunc("powerchief_fleet_quarantines_total",
 		"Node transitions into quarantine over the coordinator's lifetime.",
 		func() float64 { return float64(c.quarantines.Load()) })

@@ -88,6 +88,20 @@ type Options struct {
 	// HistGrowth is the latency histogram bucket growth factor (default
 	// 1.05, ≤5% quantile error).
 	HistGrowth float64
+	// ShardIndex/ShardCount stride-shard one global schedule across N
+	// cooperating generators (the distributed benchmark agents): every
+	// generator materializes the full schedule and the full work-draw
+	// sequence — so the union of what N shards execute is exactly the
+	// single-process op set, IDs, intended offsets and work included — but
+	// executes only the arrivals whose index ≡ ShardIndex (mod ShardCount).
+	// ShardCount ≤ 1 disables sharding.
+	ShardIndex int
+	ShardCount int
+	// Stop, when non-nil, cancels the arrival process early when closed:
+	// the dispatcher stops releasing operations, in-flight ones drain, and
+	// the run returns the statistics recorded so far with Result.Stopped
+	// set — the hook the coordinator's throughput auto-termination uses.
+	Stop <-chan struct{}
 	// Metrics, when set, receives live per-run series — ops started,
 	// completed, errors, in-flight, intended rate and a p99 gauge — so a
 	// /metrics endpoint reflects the benchmark while it runs.
@@ -125,6 +139,12 @@ type Result struct {
 	// domain (see SelfPacing); latencies are then virtual and throughput is
 	// defined over the schedule horizon.
 	SelfPaced bool
+	// Stopped records that the arrival process was cancelled early through
+	// Options.Stop (auto-termination).
+	Stopped bool
+	// Shards is the stride-shard denominator the run executed under (0 or 1:
+	// the whole schedule).
+	Shards int
 
 	// Latency is the coordinated-omission-safe distribution: intended start
 	// to completion. A stalled target inflates it with the backlog wait.
@@ -236,14 +256,28 @@ func Run(t Target, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("loadgen: Run needs a work drawer")
 	}
 
+	if opts.ShardCount > 1 && (opts.ShardIndex < 0 || opts.ShardIndex >= opts.ShardCount) {
+		return nil, fmt.Errorf("loadgen: shard %d outside [0, %d)", opts.ShardIndex, opts.ShardCount)
+	}
+
 	arrivals := opts.Schedule.Arrivals(opts.Duration)
 	if len(arrivals) == 0 {
 		return nil, fmt.Errorf("loadgen: schedule yields no arrivals over %v", opts.Duration)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	ops := make([]*Op, len(arrivals))
+	ops := make([]*Op, 0, len(arrivals))
 	for i, at := range arrivals {
-		ops[i] = &Op{ID: query.ID(i + 1), Intended: at, Work: opts.DrawWork(rng)}
+		// Work is always drawn, even for arrivals another shard owns: the
+		// draw sequence must not depend on the stride, or shards would stop
+		// agreeing on each operation's work.
+		op := &Op{ID: query.ID(i + 1), Intended: at, Work: opts.DrawWork(rng)}
+		if opts.ShardCount > 1 && i%opts.ShardCount != opts.ShardIndex {
+			continue
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("loadgen: shard %d/%d owns no arrivals over %v", opts.ShardIndex, opts.ShardCount, opts.Duration)
 	}
 	if p, ok := t.(Preparer); ok {
 		if err := p.Prepare(ops); err != nil {
@@ -251,10 +285,14 @@ func Run(t Target, opts Options) (*Result, error) {
 		}
 	}
 
+	rate := opts.Schedule.Rate()
+	if opts.ShardCount > 1 {
+		rate /= float64(opts.ShardCount)
+	}
 	st := &runState{res: &Result{
 		Target:   t.Name(),
 		Schedule: opts.Schedule.Name(),
-		Rate:     opts.Schedule.Rate(),
+		Rate:     rate,
 		Duration: opts.Duration,
 		Warmup:   opts.Warmup,
 		Workers:  opts.Workers,
@@ -277,10 +315,23 @@ func Run(t Target, opts Options) (*Result, error) {
 	// sleeps against the fixed schedule — pushes cannot block — so a stalled
 	// target leaves the arrival sequence untouched. Self-paced targets carry
 	// the schedule in their own clock, so their ops are released immediately.
+	// A close on opts.Stop cancels the remaining arrivals; released work
+	// still drains, so the run ends with consistent statistics.
 	go func() {
 		for _, op := range ops {
+			if stopRequested(opts.Stop) {
+				st.mu.Lock()
+				st.res.Stopped = true
+				st.mu.Unlock()
+				break
+			}
 			if wait := op.Intended - time.Since(start); pace && wait > 0 {
-				time.Sleep(wait)
+				if !sleepUnlessStopped(wait, opts.Stop) {
+					st.mu.Lock()
+					st.res.Stopped = true
+					st.mu.Unlock()
+					break
+				}
 			}
 			st.mu.Lock()
 			st.started++
@@ -313,7 +364,36 @@ func Run(t Target, opts Options) (*Result, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.res.Wall = time.Since(start)
+	if opts.ShardCount > 1 {
+		st.res.Shards = opts.ShardCount
+	}
 	return st.res, nil
+}
+
+// stopRequested reports whether the (possibly nil) stop channel is closed.
+func stopRequested(stop <-chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleepUnlessStopped sleeps for d, returning false if stop closed first.
+func sleepUnlessStopped(d time.Duration, stop <-chan struct{}) bool {
+	if stop == nil {
+		time.Sleep(d)
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-stop:
+		return false
+	}
 }
 
 // observe folds one finished operation into the run summary. Latency is

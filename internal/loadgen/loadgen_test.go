@@ -3,6 +3,7 @@ package loadgen
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -304,5 +305,214 @@ func TestDistTarget(t *testing.T) {
 	sub, comp := center.Counts()
 	if sub != uint64(res.Issued) || comp != sub {
 		t.Fatalf("center saw %d/%d, loadgen issued %d", comp, sub, res.Issued)
+	}
+}
+
+// TestRampArrivals: the ramp program is deterministic, monotone, matches
+// its average rate, and actually ramps — the second half of an up-ramp
+// holds more arrivals than the first.
+func TestRampArrivals(t *testing.T) {
+	r := Ramp{FromQPS: 10, ToQPS: 50}
+	horizon := 10 * time.Second
+	a := r.Arrivals(horizon)
+	b := r.Arrivals(horizon)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("non-deterministic or empty ramp: %d vs %d arrivals", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across identical calls", i)
+		}
+		if i > 0 && a[i] <= a[i-1] {
+			t.Fatalf("arrivals not strictly increasing at %d: %v then %v", i, a[i-1], a[i])
+		}
+	}
+	want := int(r.Rate() * horizon.Seconds()) // 300
+	if len(a) < want-2 || len(a) > want+2 {
+		t.Errorf("ramp 10→50 over 10s yields %d arrivals, want ≈%d", len(a), want)
+	}
+	half := 0
+	for _, at := range a {
+		if at < horizon/2 {
+			half++
+		}
+	}
+	// First half integrates to 10·5 + (40/10)·5²/2 = 100 of 300.
+	if half < 90 || half > 110 {
+		t.Errorf("first half holds %d arrivals, want ≈100 of %d", half, len(a))
+	}
+	// Down-ramp mirrors up-ramp.
+	down := Ramp{FromQPS: 50, ToQPS: 10}.Arrivals(horizon)
+	if len(down) < want-2 || len(down) > want+2 {
+		t.Errorf("ramp 50→10 yields %d arrivals, want ≈%d", len(down), want)
+	}
+}
+
+func TestParseScheduleRamp(t *testing.T) {
+	s, err := ParseSchedule("ramp:10:50", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := s.(Ramp); !ok || r.FromQPS != 10 || r.ToQPS != 50 {
+		t.Fatalf("parsed %#v, want Ramp{10,50}", s)
+	}
+	if s.Rate() != 30 {
+		t.Errorf("ramp rate %v, want the 30 average", s.Rate())
+	}
+	for _, bad := range []string{"ramp", "ramp:", "ramp:10", "ramp:x:y", "ramp:-1:5", "ramp:0:0"} {
+		if _, err := ParseSchedule(bad, 5, 1); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunShardsPartitionSchedule: N stride shards together execute exactly
+// the single-process op set — same IDs, same intended offsets, same work —
+// and each shard reports the per-shard rate.
+func TestRunShardsPartitionSchedule(t *testing.T) {
+	const shards = 4
+	type seen struct {
+		intended time.Duration
+		work     time.Duration
+	}
+	collect := func(idx, count int) (map[uint64]seen, *Result) {
+		rec := make(map[uint64]seen)
+		var mu sync.Mutex
+		tgt := &funcTarget{name: "collector", do: func(op *Op) error {
+			mu.Lock()
+			rec[uint64(op.ID)] = seen{op.Intended, op.Work[0][0]}
+			mu.Unlock()
+			return nil
+		}}
+		res, err := Run(tgt, Options{
+			Schedule:   Poisson{QPS: 400, Seed: 3},
+			Duration:   500 * time.Millisecond,
+			Workers:    8,
+			Seed:       9,
+			ShardIndex: idx,
+			ShardCount: count,
+			DrawWork: func(rng *rand.Rand) [][]time.Duration {
+				return [][]time.Duration{{time.Duration(rng.Int63n(int64(time.Millisecond)))}}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec, res
+	}
+
+	whole, wholeRes := collect(0, 1)
+	if wholeRes.Rate != 400 {
+		t.Errorf("unsharded rate %v, want 400", wholeRes.Rate)
+	}
+	union := make(map[uint64]seen)
+	for i := 0; i < shards; i++ {
+		part, res := collect(i, shards)
+		if res.Rate != 100 {
+			t.Errorf("shard rate %v, want 100", res.Rate)
+		}
+		if res.Shards != shards {
+			t.Errorf("res.Shards = %d, want %d", res.Shards, shards)
+		}
+		for id, s := range part {
+			if _, dup := union[id]; dup {
+				t.Fatalf("op %d executed by two shards", id)
+			}
+			union[id] = s
+		}
+	}
+	if len(union) != len(whole) {
+		t.Fatalf("shards executed %d ops, single process %d", len(union), len(whole))
+	}
+	for id, w := range whole {
+		if union[id] != w {
+			t.Fatalf("op %d differs: shard saw %+v, single process %+v", id, union[id], w)
+		}
+	}
+}
+
+func TestRunShardValidation(t *testing.T) {
+	_, err := Run(&stubTarget{}, Options{
+		Schedule: ConstantRate(10), Duration: time.Second, Seed: 1,
+		DrawWork: unitWork(time.Millisecond), ShardIndex: 3, ShardCount: 2,
+	})
+	if err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+// funcTarget adapts a function to Target.
+type funcTarget struct {
+	name string
+	do   func(op *Op) error
+}
+
+func (f *funcTarget) Name() string    { return f.name }
+func (f *funcTarget) Do(op *Op) error { return f.do(op) }
+func (f *funcTarget) Close() error    { return nil }
+
+// TestRunStopCancelsArrivals: closing Options.Stop mid-run ends the arrival
+// process early; the result carries what completed and marks Stopped.
+func TestRunStopCancelsArrivals(t *testing.T) {
+	stop := make(chan struct{})
+	var n atomic.Uint64
+	tgt := &funcTarget{name: "slowish", do: func(op *Op) error {
+		if n.Add(1) == 5 {
+			close(stop)
+		}
+		return nil
+	}}
+	res, err := Run(tgt, Options{
+		Schedule: ConstantRate(50),
+		Duration: 10 * time.Second, // would be a 10s run without the stop
+		Workers:  2,
+		Seed:     1,
+		Stop:     stop,
+		DrawWork: unitWork(time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Error("result not marked Stopped")
+	}
+	if res.Issued >= 500 {
+		t.Errorf("issued %d ops, stop did not cut the schedule", res.Issued)
+	}
+	if res.Wall >= 10*time.Second {
+		t.Errorf("run took the full horizon (%v) despite the stop", res.Wall)
+	}
+	s := Summarize(res)
+	if !s.StoppedEarly {
+		t.Error("summary not marked stopped_early")
+	}
+}
+
+// TestSummarizeProvenanceAndHistogram: every summary carries build/run
+// provenance and the serialized latency histogram its quantiles derive from.
+func TestSummarizeProvenanceAndHistogram(t *testing.T) {
+	res, err := Run(&stubTarget{}, Options{
+		Schedule: ConstantRate(200), Duration: 200 * time.Millisecond,
+		Workers: 4, Seed: 1, DrawWork: unitWork(time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(res)
+	if s.Provenance == nil || s.Provenance.GoVersion == "" || s.Provenance.GitRevision == "" {
+		t.Fatalf("summary provenance incomplete: %+v", s.Provenance)
+	}
+	if s.Agents != 1 {
+		t.Errorf("Agents = %d, want 1", s.Agents)
+	}
+	if s.LatencyHist == nil || s.LatencyHist.Count != s.Completed {
+		t.Fatalf("latency histogram missing or inconsistent: %+v", s.LatencyHist)
+	}
+	q, err := QuantilesFromDigest(s.LatencyHist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != s.LatencyMS {
+		t.Errorf("digest-derived quantiles %+v differ from recorded %+v", q, s.LatencyMS)
 	}
 }

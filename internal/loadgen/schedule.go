@@ -2,7 +2,10 @@ package loadgen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -92,9 +95,74 @@ func (p Poisson) Arrivals(horizon time.Duration) []time.Duration {
 	}
 }
 
-// ParseSchedule builds a schedule from its flag name ("constant" or
-// "poisson"), rate and seed.
+// Ramp schedules a linear rate ramp between two QPS endpoints across the
+// horizon — the first non-stationary arrival program. Arrivals are placed
+// by inverting the cumulative arrival count N(t) = from·t + (to−from)·t²/2T,
+// so the instantaneous rate at time t is exactly from + (to−from)·t/T: a
+// pure function of the horizon with no accumulation drift and no
+// randomness, hence trivially deterministic and shardable.
+type Ramp struct {
+	FromQPS float64
+	ToQPS   float64
+}
+
+// Name implements Schedule.
+func (r Ramp) Name() string { return "ramp" }
+
+// Rate implements Schedule: the time-averaged rate over the horizon.
+func (r Ramp) Rate() float64 { return (r.FromQPS + r.ToQPS) / 2 }
+
+// Arrivals implements Schedule. The k-th arrival is the solution of
+// N(t) = k for the quadratic cumulative count, so offsets are exact for any
+// horizon — early arrivals are dense when ramping down, sparse when ramping
+// up, and the long-run average matches Rate().
+func (r Ramp) Arrivals(horizon time.Duration) []time.Duration {
+	if r.FromQPS < 0 || r.ToQPS < 0 || r.FromQPS+r.ToQPS <= 0 || horizon <= 0 {
+		return nil
+	}
+	T := horizon.Seconds()
+	a := r.FromQPS
+	b := (r.ToQPS - r.FromQPS) / T // rate slope per second
+	total := int(r.Rate() * T)
+	out := make([]time.Duration, 0, total+1)
+	for k := 0; ; k++ {
+		var tk float64
+		if b == 0 {
+			tk = float64(k) / a
+		} else {
+			// Solve a·t + b·t²/2 = k for the positive root.
+			disc := a*a + 2*b*float64(k)
+			if disc < 0 {
+				break // ramping to zero: the integral saturates, no more arrivals
+			}
+			tk = (math.Sqrt(disc) - a) / b
+		}
+		at := time.Duration(tk * float64(time.Second))
+		if at >= horizon {
+			break
+		}
+		out = append(out, at)
+	}
+	return out
+}
+
+// ParseSchedule builds a schedule from its flag name ("constant", "poisson"
+// or "ramp:<from>:<to>"), rate and seed. The ramp form carries its own QPS
+// endpoints, so the rate argument is ignored for it.
 func ParseSchedule(name string, rate float64, seed int64) (Schedule, error) {
+	if strings.HasPrefix(name, "ramp") {
+		rest, _ := strings.CutPrefix(name, "ramp")
+		parts := strings.Split(strings.TrimPrefix(rest, ":"), ":")
+		if rest == "" || len(parts) != 2 {
+			return nil, fmt.Errorf("loadgen: ramp arrivals need two endpoints, e.g. ramp:10:50")
+		}
+		from, err1 := strconv.ParseFloat(parts[0], 64)
+		to, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil || from < 0 || to < 0 || from+to <= 0 {
+			return nil, fmt.Errorf("loadgen: bad ramp endpoints %q (want ramp:<fromQPS>:<toQPS>)", rest)
+		}
+		return Ramp{FromQPS: from, ToQPS: to}, nil
+	}
 	if rate <= 0 {
 		return nil, fmt.Errorf("loadgen: rate must be positive, got %v", rate)
 	}
@@ -104,6 +172,6 @@ func ParseSchedule(name string, rate float64, seed int64) (Schedule, error) {
 	case "poisson":
 		return Poisson{QPS: rate, Seed: seed}, nil
 	default:
-		return nil, fmt.Errorf("loadgen: unknown arrival process %q (want constant or poisson)", name)
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q (want constant, poisson or ramp:<from>:<to>)", name)
 	}
 }

@@ -3,12 +3,57 @@ package loadgen
 import (
 	"fmt"
 	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
 	"text/tabwriter"
 	"time"
+
+	"powerchief/internal/stats"
 )
 
+// Provenance records where a summary came from, so the cmp regression gate
+// can refuse to compare apples to oranges (and flag drifting toolchains):
+// the build's git revision, the Go toolchain, the host that ran it, and the
+// number of cooperating benchmark agents that produced the numbers.
+type Provenance struct {
+	GitRevision string `json:"git_revision,omitempty"`
+	GoVersion   string `json:"go_version,omitempty"`
+	Hostname    string `json:"hostname,omitempty"`
+	Agents      int    `json:"agents,omitempty"`
+}
+
+var (
+	provOnce   sync.Once
+	provCached Provenance
+)
+
+// CaptureProvenance reads the build and host identity once (git revision
+// from the binary's embedded VCS info, "unknown" outside a stamped build).
+func CaptureProvenance() Provenance {
+	provOnce.Do(func() {
+		provCached = Provenance{GitRevision: "unknown", GoVersion: runtime.Version(), Agents: 1}
+		if host, err := os.Hostname(); err == nil {
+			provCached.Hostname = host
+		}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					provCached.GitRevision = s.Value
+				}
+			}
+		}
+	})
+	return provCached
+}
+
 // Summary is the JSON-serializable digest of one run — the shape
-// cmd/powerbench writes with -json and CI uploads as an artifact.
+// cmd/powerbench writes with -json and CI uploads as an artifact. Since the
+// distributed-benchmark PR it carries the full serialized latency histogram
+// (not just quantiles), so N agent summaries merge exactly into one
+// cluster-wide distribution; the quantile block is derived from the
+// histogram and kept for human readability and old tooling.
 type Summary struct {
 	Target    string  `json:"target"`
 	Schedule  string  `json:"schedule"`
@@ -18,6 +63,12 @@ type Summary struct {
 	Workers   int     `json:"workers"`
 	Seed      int64   `json:"seed"`
 	SelfPaced bool    `json:"self_paced,omitempty"`
+
+	// Agents is the number of cooperating load generators behind the
+	// numbers: 1 for a single-process run, N for a coordinator-merged one.
+	Agents int `json:"agents,omitempty"`
+	// StoppedEarly marks a run cancelled by throughput auto-termination.
+	StoppedEarly bool `json:"stopped_early,omitempty"`
 
 	Issued    uint64 `json:"issued"`
 	Completed uint64 `json:"completed"`
@@ -33,6 +84,16 @@ type Summary struct {
 	// ServiceMS is the send-time (pickup-to-completion) diagnostic
 	// distribution; absent for self-paced targets.
 	ServiceMS *Quantiles `json:"service_ms,omitempty"`
+
+	// LatencyHist is the serialized log-spaced latency histogram the
+	// quantiles derive from; agent digests with one growth factor merge
+	// exactly (stats.MergeDigests).
+	LatencyHist *stats.HistogramDigest `json:"latency_hist,omitempty"`
+	// ServiceHist is the serialized send-time distribution, when recorded.
+	ServiceHist *stats.HistogramDigest `json:"service_hist,omitempty"`
+
+	// Provenance identifies the build, host and agent count behind the run.
+	Provenance *Provenance `json:"provenance,omitempty"`
 }
 
 // Quantiles summarizes one latency distribution in milliseconds.
@@ -49,21 +110,26 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 
 // Summarize digests a result.
 func Summarize(r *Result) Summary {
+	prov := CaptureProvenance()
 	s := Summary{
-		Target:      r.Target,
-		Schedule:    r.Schedule,
-		RateQPS:     r.Rate,
-		Duration:    r.Duration.String(),
-		Workers:     r.Workers,
-		Seed:        r.Seed,
-		SelfPaced:   r.SelfPaced,
-		Issued:      r.Issued,
-		Completed:   r.Completed,
-		Trimmed:     r.Trimmed,
-		Errors:      r.Errors,
-		WallMS:      ms(r.Wall),
-		AchievedQPS: r.AchievedQPS(),
-		LatencyMS:   quantilesOf(r.Latency),
+		Target:       r.Target,
+		Schedule:     r.Schedule,
+		RateQPS:      r.Rate,
+		Duration:     r.Duration.String(),
+		Workers:      r.Workers,
+		Seed:         r.Seed,
+		SelfPaced:    r.SelfPaced,
+		Agents:       1,
+		StoppedEarly: r.Stopped,
+		Issued:       r.Issued,
+		Completed:    r.Completed,
+		Trimmed:      r.Trimmed,
+		Errors:       r.Errors,
+		WallMS:       ms(r.Wall),
+		AchievedQPS:  r.AchievedQPS(),
+		LatencyMS:    quantilesOf(r.Latency),
+		LatencyHist:  r.Latency.Digest(),
+		Provenance:   &prov,
 	}
 	if r.Warmup > 0 {
 		s.Warmup = r.Warmup.String()
@@ -71,6 +137,7 @@ func Summarize(r *Result) Summary {
 	if r.Service.Count() > 0 {
 		q := quantilesOf(r.Service)
 		s.ServiceMS = &q
+		s.ServiceHist = r.Service.Digest()
 	}
 	return s
 }
@@ -88,6 +155,16 @@ func quantilesOf(h interface {
 		P999: ms(h.Quantile(0.999)),
 		Max:  ms(h.Max()),
 	}
+}
+
+// QuantilesFromDigest derives the human-readable quantile block from a
+// serialized histogram — the path a merged (multi-agent) summary takes.
+func QuantilesFromDigest(d *stats.HistogramDigest) (Quantiles, error) {
+	h, err := stats.FromDigest(d)
+	if err != nil {
+		return Quantiles{}, fmt.Errorf("loadgen: deriving quantiles: %w", err)
+	}
+	return quantilesOf(h), nil
 }
 
 // WriteTable renders one or more summaries as a human-readable table; rows

@@ -187,6 +187,106 @@ func (h *Histogram) Merge(other *Histogram) error {
 	return nil
 }
 
+// Growth returns the bucket growth factor the histogram was built with.
+func (h *Histogram) Growth() float64 { return h.growth }
+
+// DigestBin is one non-empty bucket of a HistogramDigest: the bucket index
+// in the shared log-spaced layout plus its count.
+type DigestBin struct {
+	Index int    `json:"i"`
+	Count uint64 `json:"n"`
+}
+
+// HistogramDigest is the serializable form of a Histogram: the log-spaced
+// bin layout is named by its growth factor (bounds are derived, 1µs to
+// ~80min, the BucketWindow geometry), so a digest is a few dozen sparse
+// bins instead of the full bucket array. Digests from runs that share a
+// growth factor merge exactly — bin counts add — which is what lets N
+// benchmark agents each ship a digest and the coordinator reconstruct the
+// cluster-wide distribution without resampling.
+type HistogramDigest struct {
+	Growth   float64     `json:"growth"`
+	Count    uint64      `json:"count"`
+	SumNS    int64       `json:"sum_ns"`
+	MinNS    int64       `json:"min_ns,omitempty"`
+	MaxNS    int64       `json:"max_ns,omitempty"`
+	Overflow uint64      `json:"overflow,omitempty"`
+	Bins     []DigestBin `json:"bins,omitempty"`
+}
+
+// Digest serializes the histogram: only non-empty buckets are carried.
+func (h *Histogram) Digest() *HistogramDigest {
+	d := &HistogramDigest{
+		Growth:   h.growth,
+		Count:    h.count,
+		SumNS:    int64(h.sum),
+		Overflow: h.overflow,
+	}
+	if h.count > 0 {
+		d.MinNS = int64(h.min)
+		d.MaxNS = int64(h.max)
+	}
+	for i, c := range h.counts {
+		if c > 0 {
+			d.Bins = append(d.Bins, DigestBin{Index: i, Count: c})
+		}
+	}
+	return d
+}
+
+// FromDigest reconstructs a Histogram from its serialized form. The digest
+// must name a valid growth factor and bin indexes inside the derived layout.
+func FromDigest(d *HistogramDigest) (*Histogram, error) {
+	if d == nil {
+		return nil, fmt.Errorf("stats: nil histogram digest")
+	}
+	if d.Growth <= 1 {
+		return nil, fmt.Errorf("stats: digest growth factor %v must exceed 1", d.Growth)
+	}
+	h := NewHistogram(d.Growth)
+	var binned uint64
+	for _, b := range d.Bins {
+		if b.Index < 0 || b.Index >= len(h.counts) {
+			return nil, fmt.Errorf("stats: digest bin index %d outside the %d-bucket layout", b.Index, len(h.counts))
+		}
+		h.counts[b.Index] += b.Count
+		binned += b.Count
+	}
+	if binned+d.Overflow > d.Count {
+		return nil, fmt.Errorf("stats: digest bins hold %d samples, total claims %d", binned+d.Overflow, d.Count)
+	}
+	h.count = d.Count
+	h.sum = time.Duration(d.SumNS)
+	h.overflow = d.Overflow
+	if d.Count > 0 {
+		h.min = time.Duration(d.MinNS)
+		h.max = time.Duration(d.MaxNS)
+	}
+	return h, nil
+}
+
+// MergeDigests reconstructs and merges N digests (all sharing one growth
+// factor) into a single histogram — the coordinator's reduction step.
+func MergeDigests(ds ...*HistogramDigest) (*Histogram, error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("stats: merging zero digests")
+	}
+	out, err := FromDigest(ds[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range ds[1:] {
+		h, err := FromDigest(d)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Merge(h); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // String summarizes the distribution.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",

@@ -181,3 +181,77 @@ func TestPropertyHistogramQuantileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHistogramDigestRoundTrip(t *testing.T) {
+	h := NewHistogram(1.25)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		h.Observe(time.Duration(rng.ExpFloat64() * float64(50*time.Millisecond)))
+	}
+	h.Observe(100 * time.Minute) // overflow bucket
+	got, err := FromDigest(h.Digest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != h.Count() || got.Mean() != h.Mean() || got.Min() != h.Min() || got.Max() != h.Max() {
+		t.Errorf("round trip lost moments: got %v want %v", got, h)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got.Quantile(q) != h.Quantile(q) {
+			t.Errorf("q%.3f = %v after round trip, want %v", q, got.Quantile(q), h.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramDigestValidates(t *testing.T) {
+	if _, err := FromDigest(nil); err == nil {
+		t.Error("nil digest accepted")
+	}
+	if _, err := FromDigest(&HistogramDigest{Growth: 1}); err == nil {
+		t.Error("growth 1 accepted")
+	}
+	if _, err := FromDigest(&HistogramDigest{Growth: 1.25, Count: 1, Bins: []DigestBin{{Index: -1, Count: 1}}}); err == nil {
+		t.Error("negative bin index accepted")
+	}
+	if _, err := FromDigest(&HistogramDigest{Growth: 1.25, Count: 1, Bins: []DigestBin{{Index: 1 << 20, Count: 1}}}); err == nil {
+		t.Error("out-of-layout bin index accepted")
+	}
+	if _, err := FromDigest(&HistogramDigest{Growth: 1.25, Count: 1, Bins: []DigestBin{{Index: 0, Count: 5}}}); err == nil {
+		t.Error("bins exceeding total accepted")
+	}
+}
+
+// TestHistogramDigestShardedMergeExact: splitting one observation stream
+// across N histograms and merging their digests reproduces the quantiles of
+// the unsharded histogram exactly — the property the distributed benchmark
+// coordinator relies on.
+func TestHistogramDigestShardedMergeExact(t *testing.T) {
+	const shards = 7
+	whole := NewHistogram(1.25)
+	parts := make([]*Histogram, shards)
+	for i := range parts {
+		parts[i] = NewHistogram(1.25)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 20000; i++ {
+		v := time.Duration(rng.ExpFloat64() * float64(120*time.Millisecond))
+		whole.Observe(v)
+		parts[i%shards].Observe(v)
+	}
+	ds := make([]*HistogramDigest, shards)
+	for i, p := range parts {
+		ds[i] = p.Digest()
+	}
+	merged, err := MergeDigests(ds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count() != whole.Count() || merged.Mean() != whole.Mean() {
+		t.Fatalf("merged moments differ: %v vs %v", merged, whole)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q%.3f merged %v != whole %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
