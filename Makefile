@@ -3,7 +3,7 @@ GO ?= go
 # Pinned staticcheck version, matching .github/workflows/ci.yml.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet staticcheck test race check ci
+.PHONY: all build vet staticcheck test race docs-lint check ci
 
 all: check
 
@@ -24,6 +24,11 @@ staticcheck:
 
 test:
 	$(GO) test ./...
+
+# Documentation gate: relative links in the top-level docs must resolve,
+# and every internal/* package must carry a non-empty doc.go.
+docs-lint:
+	sh scripts/docs-lint.sh
 
 # Race-focused pass over the concurrency-heavy packages: the RPC transport,
 # the distributed control plane (including the chaos tests), the fleet
@@ -58,6 +63,6 @@ bench-cmp: bench-net
 		-max.p99 200 -max.p999 250 results/BENCH_benchnet.json bench-net.json
 
 # The full local gate: what CI runs.
-check: vet staticcheck build test race
+check: vet staticcheck build test race docs-lint
 
 ci: check

@@ -84,6 +84,9 @@ func main() {
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		coord.RegisterMetrics(reg)
+		// Heartbeat-carried node statistics: delta fold counters, sequence
+		// gaps (lost heartbeat windows) and the merged fleet-wide latency.
+		coord.RegisterIngestMetrics(reg)
 		srv, err := telemetry.Serve(*metricsAddr, telemetry.Handler(reg, audit, nil))
 		if err != nil {
 			fatal(err)
@@ -127,6 +130,11 @@ func main() {
 	q, r, f := coord.Counts()
 	fmt.Printf("Σ granted %.2fW of %.2fW; %d quarantines, %d re-admissions, %d fenced reports\n",
 		float64(coord.Draw()), *budget, q, r, f)
+	if count, mean, p99, ok := coord.FleetLatency(0.99); ok {
+		deltas, _, gaps := coord.IngestCounts()
+		fmt.Printf("fleet latency over %d completions (from %d heartbeat deltas, %d gaps): mean=%v p99=%v\n",
+			count, deltas, gaps, mean.Round(time.Millisecond), p99.Round(time.Millisecond))
+	}
 	if n, err := loop.Errors(); n > 0 {
 		fmt.Printf("control loop: %d degraded/failed epochs (last: %v)\n", n, err)
 	}

@@ -32,6 +32,12 @@ func main() {
 		load = flag.Float64("load", 1, "work intensity (1.0 ≈ one saturated max-level core)")
 		addr = flag.String("addr", ":0", "listen address")
 
+		// Delta-batched statistics ingest: completions folded locally ride
+		// the heartbeat reports to the coordinator (zero extra RPCs).
+		ingestBatch = flag.Int("ingest.batch", 0, "enable delta-batched stat ingest with this memory bound in completions (0: off)")
+		ingestIvl   = flag.Duration("ingest.interval", 0, "delta accumulator interval (0: stats default; flush cadence is the heartbeat)")
+		ingestRate  = flag.Float64("ingest.rate", 100, "synthetic completions observed per second while ingest is enabled")
+
 		// Fault injection (chaos harness).
 		chaos      = flag.String("chaos", "", "serve through the fault-injection proxy: pass, hang, slow or deny")
 		chaosDelay = flag.Duration("chaosdelay", 100*time.Millisecond, "per-reply delay in -chaos slow mode")
@@ -76,6 +82,27 @@ func main() {
 	}
 	fmt.Printf("node %s serving on %s (load %.2f)\n", *name, bound, *load)
 
+	// Synthetic observation feed: the SynthBackend has no real query stream,
+	// so each tick folds one completion whose latency is the node's current
+	// bottleneck metric. The batch is shipped on the next heartbeat report —
+	// the fleet-wide latency histogram on the coordinator comes from here.
+	if *ingestBatch > 0 {
+		svc.EnableIngest(*ingestBatch, *ingestIvl)
+		rate := *ingestRate
+		if rate <= 0 {
+			rate = 100
+		}
+		go func() {
+			ticker := time.NewTicker(time.Duration(float64(time.Second) / rate))
+			defer ticker.Stop()
+			for range ticker.C {
+				svc.Observe(backend.Metric())
+			}
+		}()
+		fmt.Printf("node %s delta ingest enabled (batch %d, %.0f synthetic completions/s)\n",
+			*name, *ingestBatch, rate)
+	}
+
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		reg.GaugeFunc("powerchief_node_budget_watts", "last granted budget", func() float64 {
@@ -89,6 +116,9 @@ func main() {
 		})
 		reg.CounterFunc("powerchief_node_grants_total", "grants accepted from the coordinator", func() float64 {
 			return float64(svc.Grants())
+		})
+		reg.GaugeFunc("powerchief_node_ingest_pending_queries", "completions folded but not yet shipped on a heartbeat", func() float64 {
+			return float64(svc.IngestPending())
 		})
 		srv, err := telemetry.Serve(*metricsAddr, telemetry.Handler(reg, nil, nil))
 		if err != nil {

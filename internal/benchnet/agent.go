@@ -158,6 +158,7 @@ func (a *Agent) start(args StartArgs) (struct{}, error) {
 			return
 		}
 		run.summary = loadgen.Summarize(res)
+		spec.StampProvenance(&run.summary)
 		a.logf("benchnet agent: run done: %d issued, %d completed, %d errors",
 			res.Issued, res.Completed, res.Errors)
 	}()

@@ -148,7 +148,8 @@ func buildDistTarget(spec RunSpec, a app.App, instances []int, level cmp.Level) 
 		}
 	}
 	model := cmp.DefaultModel()
-	center, err := dist.NewCenter(specBudget(spec, model, instances, level), 25*time.Second, addrs)
+	center, err := dist.NewCenterOptions(specBudget(spec, model, instances, level), 25*time.Second, addrs,
+		dist.CenterOptions{IngestBatch: spec.IngestBatch, IngestInterval: spec.IngestInterval})
 	if err != nil {
 		closeAll(owned)
 		return nil, err

@@ -188,5 +188,10 @@ func provenanceWarnings(old, new *loadgen.Provenance) []string {
 	if old.Hostname != new.Hostname {
 		w = append(w, fmt.Sprintf("host drift: baseline %s vs new %s", old.Hostname, new.Hostname))
 	}
+	if old.IngestBatch != new.IngestBatch || old.IngestIntervalMS != new.IngestIntervalMS {
+		w = append(w, fmt.Sprintf(
+			"ingest batching drift: baseline batch=%d interval=%.0fms vs new batch=%d interval=%.0fms (different statistic-staleness bounds)",
+			old.IngestBatch, old.IngestIntervalMS, new.IngestBatch, new.IngestIntervalMS))
+	}
 	return w
 }

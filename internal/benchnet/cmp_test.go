@@ -114,6 +114,62 @@ func TestCompareForceDowngradesToWarnings(t *testing.T) {
 	}
 }
 
+// TestCompareWarnsOnIngestBatchingDrift: a baseline measured with per-record
+// ingest against a candidate with delta batching (or different batching) has
+// different statistic-staleness bounds — cmp warns instead of comparing
+// silently.
+func TestCompareWarnsOnIngestBatchingDrift(t *testing.T) {
+	old := baselineSummary()
+	new := baselineSummary()
+	new.Provenance.IngestBatch = 256
+	new.Provenance.IngestIntervalMS = 100
+
+	regs, warns, err := Compare(old, new, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("ingest config drift must warn, not regress: %v", regs)
+	}
+	var saw bool
+	for _, w := range warns {
+		saw = saw || strings.Contains(w, "ingest batching drift")
+	}
+	if !saw {
+		t.Fatalf("no ingest batching warning in %v", warns)
+	}
+
+	// Identical batching on both sides stays silent.
+	old.Provenance.IngestBatch, old.Provenance.IngestIntervalMS = 256, 100
+	if _, warns, err = Compare(old, new, Thresholds{}); err != nil || len(warns) != 0 {
+		t.Fatalf("matched ingest config warned: %v (err %v)", warns, err)
+	}
+}
+
+// TestRunSpecStampProvenance: a dist spec with batching enabled records its
+// staleness configuration on the summary; other specs leave it untouched.
+func TestRunSpecStampProvenance(t *testing.T) {
+	sum := baselineSummary()
+	RunSpec{Target: "dist", IngestBatch: 64, IngestInterval: 50 * time.Millisecond}.StampProvenance(&sum)
+	if sum.Provenance.IngestBatch != 64 || sum.Provenance.IngestIntervalMS != 50 {
+		t.Fatalf("stamped provenance = %+v", sum.Provenance)
+	}
+
+	// Interval 0 records the stats default, so two artifacts that ran the
+	// same config spelled differently still compare clean.
+	sum2 := baselineSummary()
+	RunSpec{Target: "dist", IngestBatch: 64}.StampProvenance(&sum2)
+	if sum2.Provenance.IngestIntervalMS != 100 {
+		t.Fatalf("default interval stamp = %v, want 100ms", sum2.Provenance.IngestIntervalMS)
+	}
+
+	sum3 := baselineSummary()
+	RunSpec{Target: "des", IngestBatch: 64}.StampProvenance(&sum3)
+	if sum3.Provenance.IngestBatch != 0 {
+		t.Fatalf("non-dist spec stamped ingest provenance: %+v", sum3.Provenance)
+	}
+}
+
 func TestCompareFallsBackToStoredQuantiles(t *testing.T) {
 	// Artifacts predating the histogram field carry only the quantile block.
 	old := baselineSummary()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"powerchief/internal/loadgen"
+	"powerchief/internal/stats"
 )
 
 // ProtoVersion is the benchnet wire protocol version. Hello is the
@@ -64,6 +65,16 @@ type RunSpec struct {
 	// default). All agents must share it or the digests cannot merge.
 	HistGrowth float64 `json:"hist_growth,omitempty"`
 
+	// IngestBatch, for the dist target, enables delta-batched statistics
+	// ingest: the Center negotiates stats.Delta shipping with every stage
+	// service, batching this many completions per frame (0: legacy
+	// per-record ingest). Part of the spec so every agent's Center makes the
+	// same choice and the summary provenance records it.
+	IngestBatch int `json:"ingest_batch,omitempty"`
+	// IngestInterval bounds delta staleness: a partial batch is flushed once
+	// it is this old (0: the stats default).
+	IngestInterval time.Duration `json:"ingest_interval_ns,omitempty"`
+
 	// ShardIndex/ShardCount are this agent's stride coordinates, assigned
 	// by the coordinator.
 	ShardIndex int `json:"shard_index"`
@@ -82,6 +93,25 @@ func (s RunSpec) Validate() error {
 		return fmt.Errorf("benchnet: spec needs a positive duration")
 	}
 	return nil
+}
+
+// StampProvenance records the spec's ingest batching configuration on a
+// summary's provenance, so `powerbench cmp` can warn when a baseline and a
+// candidate ran with different statistic-staleness bounds. A no-op unless
+// the spec enables batching on a dist target.
+func (s RunSpec) StampProvenance(sum *loadgen.Summary) {
+	if s.Target != "dist" || s.IngestBatch <= 0 {
+		return
+	}
+	if sum.Provenance == nil {
+		sum.Provenance = &loadgen.Provenance{}
+	}
+	sum.Provenance.IngestBatch = s.IngestBatch
+	interval := s.IngestInterval
+	if interval <= 0 {
+		interval = stats.DefaultDeltaInterval
+	}
+	sum.Provenance.IngestIntervalMS = float64(interval) / float64(time.Millisecond)
 }
 
 // HelloArgs opens the handshake.

@@ -11,7 +11,9 @@
 // engine, the live goroutine engine and the distributed RPC prototype.
 //
 // Entry points: NewAggregator turns query-carried latency records into the
-// windowed per-instance statistics of §4.2; NewPowerChief, NewFreqBoost,
+// windowed per-instance statistics of §4.2 — record by record (Ingest) or
+// as batched stats.Delta summaries shipped across a process boundary
+// (IngestDelta, exact for bucketed windows; DESIGN.md §5j); NewPowerChief, NewFreqBoost,
 // NewInstBoost, NewPegasus and NewPowerChiefSaver construct the policies; a
 // Policy's Adjust runs once per control interval against a System view.
 // EstimateInstBoost and EstimateFreqBoost are the paper's Equation 2/3

@@ -49,6 +49,9 @@ type Center struct {
 	// not auditing is enabled; exported via RegisterMetrics.
 	quarantines  atomic.Uint64
 	readmissions atomic.Uint64
+
+	// ingest tracks delta-batched statistics folds (see ingest.go).
+	ingest ingestState
 }
 
 // NewCenter connects to the stage services at addrs (pipeline order) with
@@ -106,6 +109,13 @@ func NewCenterOptions(budget cmp.Watts, window time.Duration, addrs []string, op
 			client.Close()
 			c.Close()
 			return nil, fmt.Errorf("dist: stage %s stats: %w", addr, err)
+		}
+		if opts.IngestBatch > 0 {
+			if err := c.negotiateIngest(st); err != nil {
+				client.Close()
+				c.Close()
+				return nil, fmt.Errorf("dist: stage %s ingest negotiation: %w", addr, err)
+			}
 		}
 		c.stages = append(c.stages, st)
 	}
@@ -189,6 +199,14 @@ func (c *Center) Submit(work [][]time.Duration) (time.Duration, error) {
 		st.noteSuccess()
 		for _, rec := range reply.Records {
 			q.Append(rec.toRecord(q.ID))
+		}
+		if len(reply.Records) > 0 {
+			c.ingest.recordsIn.Add(uint64(len(reply.Records)))
+		}
+		if reply.Delta != nil {
+			// A completion on this stage tripped a flush: fold the batch.
+			// A malformed frame loses only statistics, never the query.
+			_ = c.foldDelta(st, reply.Delta)
 		}
 	}
 	c.finishQuery(q)
@@ -396,20 +414,32 @@ type remoteStage struct {
 	health   HealthState
 	fails    int // consecutive failed calls
 	lastErr  error
+
+	// deltaIngest marks that this stage negotiated delta-batched statistics
+	// ingest; deltaSeq is the last delta sequence number folded from it
+	// (gaps mean lost flush windows).
+	deltaIngest bool
+	deltaSeq    uint64
 }
 
 // refresh pulls a fresh instance snapshot from the service. stage.stats is
-// idempotent, so transient failures are retried with backoff.
+// idempotent, so transient failures are retried with backoff. Under
+// delta-batched ingest the reply also drains the stage's pending batch —
+// the staleness backstop that keeps Eq. 1/2/3 inputs no staler than
+// max(flush interval, control interval).
 func (st *remoteStage) refresh() error {
 	var reply StatsReply
 	if err := st.client.CallRetry(MethodStats, nil, &reply); err != nil {
 		return err
 	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	st.snapshot = st.snapshot[:0]
 	for _, is := range reply.Instances {
 		st.snapshot = append(st.snapshot, &remoteInstance{stage: st, stats: is, level: is.Level})
+	}
+	st.mu.Unlock()
+	if reply.Delta != nil {
+		_ = st.center.foldDelta(st, reply.Delta)
 	}
 	return nil
 }

@@ -16,4 +16,13 @@
 // quarantined and their power redistributed, and Submit degrades to
 // counting errors rather than hanging — ChaosProxy exists to prove those
 // paths in tests. See DESIGN.md for the failure model.
+//
+// Statistics cross the stage→center boundary under one of two contracts
+// (DESIGN.md §5j): per-record (the default — latency records ride every
+// ProcessReply) or delta-batched (CenterOptions.IngestBatch — stages fold
+// completions locally and ship one stats.Delta per batch, negotiated via
+// MethodIngest with silent per-record fallback for old peers on either
+// side). StatSink is a standalone ingest endpoint serving both contracts;
+// `powerbench ingest` races them against each other
+// (results/BENCH_ingest.json).
 package dist

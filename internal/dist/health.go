@@ -76,6 +76,20 @@ type CenterOptions struct {
 	// ErrStageDown.
 	DegradedSubmit bool
 
+	// IngestBatch > 0 negotiates delta-batched statistics ingest with every
+	// stage service (MethodIngest): stages fold completions locally and ship
+	// one stats.Delta per IngestBatch completed queries or IngestInterval,
+	// whichever comes first, instead of records on every ProcessReply.
+	// Stages that answer "unknown method" (old binaries) silently keep the
+	// legacy per-record contract — a mixed deployment works. Zero keeps
+	// per-record ingest everywhere.
+	IngestBatch int
+	// IngestInterval is the batched-ingest flush interval (zero applies
+	// stats.DefaultDeltaInterval). Together with the control-loop stats
+	// refresh — which drains pending batches — it bounds how stale the
+	// planner's Eq. 1/2/3 inputs can be.
+	IngestInterval time.Duration
+
 	// Audit, when set, receives a structured event for every health
 	// transition — suspect, quarantine (with the watts reclaimed into the
 	// survivors' headroom), recovering, re-admission — alongside the policy
@@ -307,6 +321,18 @@ func (c *Center) readmit(st *remoteStage) error {
 
 	if err := st.refresh(); err != nil {
 		return fmt.Errorf("dist: readmit refresh: %w", err)
+	}
+
+	// Re-offer delta-batched ingest: a restarted stage process comes up
+	// disarmed and would otherwise stay per-record for the rest of the run.
+	// A failed offer never blocks re-admission — the per-record fallback
+	// keeps its statistics flowing, and the next readmit retries.
+	if c.opts.IngestBatch > 0 {
+		if err := c.negotiateIngest(st); err != nil {
+			st.mu.Lock()
+			st.deltaIngest = false
+			st.mu.Unlock()
+		}
 	}
 
 	const eps = 1e-9

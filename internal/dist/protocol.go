@@ -5,6 +5,7 @@ import (
 
 	"powerchief/internal/cmp"
 	"powerchief/internal/query"
+	"powerchief/internal/stats"
 )
 
 // Method names of the stage-service RPC surface.
@@ -15,7 +16,46 @@ const (
 	MethodClone    = "stage.clone"
 	MethodWithdraw = "stage.withdraw"
 	MethodInfo     = "stage.info"
+	// MethodIngest configures delta-batched statistics ingest on a stage
+	// service (see IngestArgs). Old services answer "unknown method", which
+	// the center treats as the legacy per-record contract — the negotiation
+	// that lets one deployment mix old and new processes.
+	MethodIngest = "stage.ingest"
 )
+
+// Method names of the statistics-sink RPC surface (see StatSink): the
+// standalone ingest endpoint stat producers push to, one call per completion
+// (legacy) or one call per delta batch.
+const (
+	MethodStatRecord = "stats.record"
+	MethodStatDelta  = "stats.delta"
+)
+
+// IngestArgs asks a stage service to switch from per-record query-carried
+// statistics to delta-batched ingest: fold completions locally, flush a
+// merged stats.Delta every Batch completed queries or IntervalNS of local
+// time, whichever comes first. Version names the delta frame format the
+// center understands; a service refuses versions newer than its own, so a
+// mixed deployment falls back to per-record rather than misfolding.
+type IngestArgs struct {
+	Version    int   `json:"version"`
+	Batch      int   `json:"batch"`
+	IntervalNS int64 `json:"interval_ns"`
+}
+
+// IngestReply acknowledges the ingest configuration.
+type IngestReply struct {
+	Accepted bool `json:"accepted"`
+	Version  int  `json:"version"`
+}
+
+// StatRecordArgs is the legacy one-call-per-completion stat push: the
+// query's end-to-end latency plus its per-instance records.
+type StatRecordArgs struct {
+	QueryID   uint64       `json:"query_id"`
+	LatencyNS int64        `json:"latency_ns"`
+	Records   []RecordWire `json:"records"`
+}
 
 // ProcessArgs carries one query into a stage service. Work holds the
 // branch demands for this stage (one entry for pipeline stages).
@@ -39,9 +79,14 @@ type RecordWire struct {
 }
 
 // ProcessReply returns the latency records the stage appended — the joint
-// design's query-carried statistics.
+// design's query-carried statistics. Under delta-batched ingest Records is
+// empty (the statistics were folded locally) and Delta carries the batched
+// summary when this completion tripped a flush. Both fields are omitempty:
+// frames between old and new peers stay byte-identical when the feature is
+// off, the same back-compat discipline as RecordWire.
 type ProcessReply struct {
-	Records []RecordWire `json:"records"`
+	Records []RecordWire `json:"records,omitempty"`
+	Delta   *stats.Delta `json:"delta,omitempty"`
 }
 
 // InstanceStats is one instance's realtime and configuration state.
@@ -52,9 +97,14 @@ type InstanceStats struct {
 	Utilization float64   `json:"utilization"`
 }
 
-// StatsReply is the stage's instance snapshot.
+// StatsReply is the stage's instance snapshot. Under delta-batched ingest
+// Delta carries whatever the accumulator had pending at the refresh — the
+// staleness backstop: every control-interval stats pull drains the batch, so
+// the planner's inputs are never staler than max(flush interval, control
+// interval) even at trickle traffic.
 type StatsReply struct {
 	Instances []InstanceStats `json:"instances"`
+	Delta     *stats.Delta    `json:"delta,omitempty"`
 }
 
 // SetLevelArgs requests a DVFS transition on one instance.

@@ -11,6 +11,7 @@ import (
 	"powerchief/internal/query"
 	"powerchief/internal/rpc"
 	"powerchief/internal/stage"
+	"powerchief/internal/stats"
 )
 
 // StageOptions configures one stage service process.
@@ -29,6 +30,14 @@ type StageOptions struct {
 	Cores int
 	// TimeScale compresses simulated work (default 1).
 	TimeScale float64
+
+	// IngestMaxBatch and IngestMaxInterval, when positive, clamp what a
+	// center may negotiate via MethodIngest — the operator's local bound on
+	// pending-delta memory and statistic staleness (cmd/stagesvc's
+	// -ingest.batch / -ingest.interval flags). Zero accepts whatever the
+	// center asks for.
+	IngestMaxBatch    int
+	IngestMaxInterval time.Duration
 }
 
 // StageService hosts one stage's instance pool behind the RPC surface. The
@@ -43,6 +52,11 @@ type StageService struct {
 	mu      sync.Mutex
 	nextQID uint64
 	waiters map[*query.Query]func()
+
+	// ingest holds the delta accumulator once a center negotiated batched
+	// ingest via MethodIngest; nil means the legacy per-record contract
+	// (records ride every ProcessReply). Swapped atomically under mu.
+	ingest *stats.DeltaAccumulator
 }
 
 // NewStageService builds the pool and registers the RPC handlers.
@@ -126,11 +140,53 @@ func (s *StageService) register() {
 			return ProcessReply{}, err
 		}
 		<-done
+		s.mu.Lock()
+		acc := s.ingest
+		s.mu.Unlock()
+		if acc != nil {
+			// Delta-batched ingest: fold the records locally instead of
+			// shipping them, and piggyback the batch when this completion
+			// tripped a flush. The center measures end-to-end latency
+			// itself, so only per-instance queuing/serving digests travel.
+			now := s.cluster.Now()
+			for i := range q.Records {
+				rec := &q.Records[i]
+				acc.FoldRecord(now, rec.Instance, rec.Stage, rec.Queuing(), rec.Serving())
+			}
+			acc.FoldCompletion(now)
+			return ProcessReply{Delta: acc.FlushIfDue(now)}, nil
+		}
 		reply := ProcessReply{Records: make([]RecordWire, 0, len(q.Records))}
 		for _, rec := range q.Records {
 			reply.Records = append(reply.Records, fromRecord(rec))
 		}
 		return reply, nil
+	})
+
+	rpc.HandleFunc(s.server, MethodIngest, func(a IngestArgs) (IngestReply, error) {
+		if a.Version > stats.DeltaVersion {
+			return IngestReply{Version: stats.DeltaVersion}, fmt.Errorf(
+				"dist: ingest version %d newer than supported %d", a.Version, stats.DeltaVersion)
+		}
+		s.mu.Lock()
+		if a.Batch > 0 {
+			batch := a.Batch
+			if s.opts.IngestMaxBatch > 0 && batch > s.opts.IngestMaxBatch {
+				batch = s.opts.IngestMaxBatch
+			}
+			interval := time.Duration(a.IntervalNS)
+			if interval <= 0 {
+				interval = stats.DefaultDeltaInterval
+			}
+			if s.opts.IngestMaxInterval > 0 && interval > s.opts.IngestMaxInterval {
+				interval = s.opts.IngestMaxInterval
+			}
+			s.ingest = stats.NewDeltaAccumulator(batch, interval)
+		} else {
+			s.ingest = nil // back to the legacy per-record contract
+		}
+		s.mu.Unlock()
+		return IngestReply{Accepted: a.Batch > 0, Version: stats.DeltaVersion}, nil
 	})
 
 	rpc.HandleFunc(s.server, MethodStats, func(struct{}) (StatsReply, error) {
@@ -142,6 +198,15 @@ func (s *StageService) register() {
 				Level:       in.Level(),
 				Utilization: in.Utilization(),
 			})
+		}
+		s.mu.Lock()
+		acc := s.ingest
+		s.mu.Unlock()
+		if acc != nil {
+			// Staleness backstop: every control-interval refresh drains the
+			// pending batch, so a trickle of traffic cannot hold statistics
+			// back past the control interval.
+			out.Delta = acc.Flush(s.cluster.Now())
 		}
 		return out, nil
 	})
@@ -193,6 +258,20 @@ func (s *StageService) register() {
 // telemetry off it — metric gauges over Draw/Counts, a local query tracer
 // via OnComplete.
 func (s *StageService) Cluster() *live.Cluster { return s.cluster }
+
+// IngestStats reports the delta-ingest state for telemetry: whether batched
+// ingest is negotiated, the lifetime flush count, and the pending unflushed
+// query/record counts.
+func (s *StageService) IngestStats() (enabled bool, flushes, pendingQueries, pendingRecords uint64) {
+	s.mu.Lock()
+	acc := s.ingest
+	s.mu.Unlock()
+	if acc == nil {
+		return false, 0, 0, 0
+	}
+	q, r := acc.Pending()
+	return true, acc.Flushes(), q, r
+}
 
 // Listen starts serving on addr and returns the bound address.
 func (s *StageService) Listen(addr string) (string, error) {

@@ -1,0 +1,16 @@
+// Package fault holds the degraded-mode sentinel errors and the health
+// state machine vocabulary shared by the distributed runtime (which raises
+// them), the fleet coordinator (which raises their node-level twins) and the
+// control plane (which classifies them). It sits below all three so the
+// control loop can recognise a partially-down backend without importing the
+// dist or fleet packages — dist is built on the live runtime, which itself
+// drives the control plane.
+//
+// The dist package re-exports the stage-level values (dist.ErrStageDown,
+// dist.ErrNoHealthyStages), so errors.Is matches against either name.
+//
+// Sentinels also carry a stable wire code (Code / FromCode) so the RPC layer
+// can round-trip them: a server encodes the code alongside the error string,
+// and the client's decoded error unwraps to the same sentinel, keeping
+// errors.Is(err, fault.ErrStageDown) true across process boundaries.
+package fault

@@ -25,4 +25,12 @@
 // before the returning node gets a watt); and every grant carries a fencing
 // epoch so a healed partition's pre-quarantine reports are rejected instead
 // of steering the allocation with stale state. See DESIGN.md §5h.
+//
+// Node statistics ride the heartbeat: a NodeService with EnableIngest folds
+// local completions into a stats.DeltaAccumulator and ships the pending
+// delta on each report — zero extra RPCs, staleness bounded by the
+// heartbeat interval — and the coordinator merges every node's digest into
+// one exact fleet-wide latency histogram (FleetLatency), applying the same
+// epoch-fencing discipline to statistics as to the bottleneck metric. See
+// DESIGN.md §5j.
 package fleet

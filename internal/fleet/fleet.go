@@ -176,6 +176,9 @@ type Coordinator struct {
 	quarantines  atomic.Uint64
 	readmissions atomic.Uint64
 	fenced       atomic.Uint64
+
+	// ingest merges heartbeat-carried node statistic deltas (see ingest.go).
+	ingest fleetIngest
 }
 
 // NewCoordinator builds a coordinator over the given node transports. Nodes
@@ -269,6 +272,9 @@ func (c *Coordinator) Adjust(policy core.Policy) (core.BoostOutcome, error) {
 			c.noteFenced(n, rep.Epoch)
 			_ = n.SetBudget(granted)
 			continue
+		}
+		if rep.Ingest != nil {
+			c.foldIngest(n.name, rep.Ingest)
 		}
 		c.noteSuccess(n)
 	}

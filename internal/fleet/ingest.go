@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"powerchief/internal/stats"
+	"powerchief/internal/telemetry"
+)
+
+// fleetIngest is the coordinator's side of delta-batched node statistics:
+// heartbeat-carried deltas merge into one fleet-wide latency histogram
+// (exact — every node folds on the shared bin layout), with per-node
+// sequence tracking so lost heartbeat windows are counted, not silently
+// absorbed.
+type fleetIngest struct {
+	mu      sync.Mutex
+	hist    *stats.Histogram
+	deltas  uint64
+	queries uint64
+	seqGaps uint64
+	lastSeq map[string]uint64
+}
+
+// foldIngest merges one node's heartbeat delta. Called from the Adjust
+// heartbeat loop for fenced-and-accepted reports only — the same ingest
+// discipline as the bottleneck metric.
+func (c *Coordinator) foldIngest(node string, d *stats.Delta) {
+	if d.Empty() || d.Validate() != nil {
+		return
+	}
+	c.ingest.mu.Lock()
+	defer c.ingest.mu.Unlock()
+	if c.ingest.hist == nil {
+		c.ingest.hist = stats.NewBinHistogram()
+		c.ingest.lastSeq = make(map[string]uint64)
+	}
+	if last, seen := c.ingest.lastSeq[node]; seen && d.Seq != last+1 {
+		c.ingest.seqGaps++
+	}
+	c.ingest.lastSeq[node] = d.Seq
+	if d.E2E != nil {
+		if merged, err := stats.MergeDigests(c.ingest.hist.Digest(), d.E2E); err == nil {
+			c.ingest.hist = merged
+		}
+	}
+	c.ingest.deltas++
+	c.ingest.queries += d.Queries
+}
+
+// IngestCounts returns the heartbeat-delta fold counters: deltas folded,
+// completed queries they summarized, and per-node sequence gaps (each gap
+// is at most one heartbeat window of statistics lost).
+func (c *Coordinator) IngestCounts() (deltas, queries, seqGaps uint64) {
+	c.ingest.mu.Lock()
+	defer c.ingest.mu.Unlock()
+	return c.ingest.deltas, c.ingest.queries, c.ingest.seqGaps
+}
+
+// FleetLatency returns the fleet-wide end-to-end latency distribution
+// merged from node deltas: count, mean and the p-quantile. ok is false
+// before any delta carried an E2E digest.
+func (c *Coordinator) FleetLatency(p float64) (count uint64, mean, quantile time.Duration, ok bool) {
+	c.ingest.mu.Lock()
+	defer c.ingest.mu.Unlock()
+	if c.ingest.hist == nil || c.ingest.hist.Count() == 0 {
+		return 0, 0, 0, false
+	}
+	return c.ingest.hist.Count(), c.ingest.hist.Mean(), c.ingest.hist.Quantile(p), true
+}
+
+// RegisterIngestMetrics exports the fleet-wide ingest telemetry on reg.
+func (c *Coordinator) RegisterIngestMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("powerchief_fleet_ingest_deltas_total",
+		"Heartbeat-carried statistic deltas folded from fleet nodes.",
+		func() float64 { d, _, _ := c.IngestCounts(); return float64(d) })
+	reg.CounterFunc("powerchief_fleet_ingest_queries_total",
+		"Completed queries summarized by folded node deltas.",
+		func() float64 { _, q, _ := c.IngestCounts(); return float64(q) })
+	reg.CounterFunc("powerchief_fleet_ingest_seq_gaps_total",
+		"Node delta sequence gaps (lost heartbeat windows).",
+		func() float64 { _, _, g := c.IngestCounts(); return float64(g) })
+	reg.GaugeFunc("powerchief_fleet_latency_p99_seconds",
+		"Fleet-wide p99 end-to-end latency merged from node deltas.",
+		func() float64 {
+			_, _, p99, ok := c.FleetLatency(0.99)
+			if !ok {
+				return 0
+			}
+			return p99.Seconds()
+		})
+	reg.GaugeFunc("powerchief_fleet_latency_mean_seconds",
+		"Fleet-wide mean end-to-end latency merged from node deltas.",
+		func() float64 {
+			_, mean, _, ok := c.FleetLatency(0.99)
+			if !ok {
+				return 0
+			}
+			return mean.Seconds()
+		})
+}

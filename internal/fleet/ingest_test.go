@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"powerchief/internal/rpc"
+	"powerchief/internal/stats"
+)
+
+// TestFleetIngestHeartbeatCarriesDeltas drives node-local observations over
+// real RPC heartbeats: deltas ride the reports, merge into the fleet-wide
+// histogram, and no extra RPCs are spent on statistics.
+func TestFleetIngestHeartbeatCarriesDeltas(t *testing.T) {
+	var transports []Transport
+	var svcs []*NodeService
+	for i := 0; i < 3; i++ {
+		svc, err := NewNodeService(fmt.Sprintf("node-%d", i), NewSynthBackend(1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.EnableIngest(0, 0)
+		addr, err := svc.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := DialNode(addr, rpc.ClientOptions{CallTimeout: 2 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svcs = append(svcs, svc)
+		transports = append(transports, node)
+		t.Cleanup(func() { node.Close(); svc.Close() })
+	}
+	coord, err := NewCoordinator(Options{Budget: 300, Floor: 10}, transports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each node observes completions locally between heartbeats.
+	const perNode = 50
+	for ni, svc := range svcs {
+		for i := 0; i < perNode; i++ {
+			svc.Observe(time.Duration(ni+1) * 10 * time.Millisecond)
+			svc.ObserveRecord(fmt.Sprintf("web-%d", ni), "web", time.Millisecond, 5*time.Millisecond)
+		}
+	}
+	if pending := svcs[0].IngestPending(); pending != perNode {
+		t.Fatalf("pending before heartbeat = %d, want %d", pending, perNode)
+	}
+
+	if _, err := coord.Adjust(NewRebalance()); err != nil {
+		t.Fatal(err)
+	}
+
+	deltas, queries, gaps := coord.IngestCounts()
+	if deltas != 3 || queries != 3*perNode || gaps != 0 {
+		t.Fatalf("ingest counts = (%d, %d, %d), want (3, %d, 0)", deltas, queries, gaps, 3*perNode)
+	}
+	if pending := svcs[0].IngestPending(); pending != 0 {
+		t.Fatalf("heartbeat left %d pending observations on the node", pending)
+	}
+
+	count, mean, p99, ok := coord.FleetLatency(0.99)
+	if !ok || count != 3*perNode {
+		t.Fatalf("fleet latency count = %d (ok=%v), want %d", count, ok, 3*perNode)
+	}
+	// Exact mean across 50×10ms + 50×20ms + 50×30ms = 20ms.
+	if mean != 20*time.Millisecond {
+		t.Fatalf("fleet mean = %v, want 20ms", mean)
+	}
+	if p99 < 20*time.Millisecond {
+		t.Fatalf("fleet p99 = %v, implausibly low", p99)
+	}
+
+	// A second epoch with no observations ships nothing and breaks nothing.
+	if _, err := coord.Adjust(NewRebalance()); err != nil {
+		t.Fatal(err)
+	}
+	if d2, _, g2 := coord.IngestCounts(); d2 != 3 || g2 != 0 {
+		t.Fatalf("idle heartbeat changed ingest counts: deltas=%d gaps=%d", d2, g2)
+	}
+}
+
+// TestFleetIngestMatchesDirectMerge proves the heartbeat-merged fleet
+// histogram equals a direct merge of every node's observations — the
+// exactness argument one level up.
+func TestFleetIngestMatchesDirectMerge(t *testing.T) {
+	var transports []Transport
+	direct := stats.NewBinHistogram()
+	for i := 0; i < 2; i++ {
+		svc, err := NewNodeService(fmt.Sprintf("node-%d", i), NewSynthBackend(1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.EnableIngest(0, 0)
+		addr, err := svc.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := DialNode(addr, rpc.ClientOptions{CallTimeout: 2 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close(); svc.Close() })
+		transports = append(transports, node)
+		for j := 1; j <= 100; j++ {
+			lat := time.Duration(j*(i+1)) * time.Millisecond
+			svc.Observe(lat)
+			direct.Observe(lat)
+		}
+	}
+	coord, err := NewCoordinator(Options{Budget: 200, Floor: 10}, transports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Adjust(NewRebalance()); err != nil {
+		t.Fatal(err)
+	}
+	count, mean, p99, ok := coord.FleetLatency(0.99)
+	if !ok {
+		t.Fatal("no fleet latency after heartbeats")
+	}
+	if count != direct.Count() || mean != direct.Mean() || p99 != direct.Quantile(0.99) {
+		t.Fatalf("fleet merge (n=%d mean=%v p99=%v) != direct (n=%d mean=%v p99=%v)",
+			count, mean, p99, direct.Count(), direct.Mean(), direct.Quantile(0.99))
+	}
+}
+
+// TestFleetIngestLegacyNodeInterop: a node without ingest enabled (an old
+// binary's wire shape — no ingest key in its reports) coexists with
+// delta-shipping nodes on one coordinator.
+func TestFleetIngestLegacyNodeInterop(t *testing.T) {
+	var transports []Transport
+	for i := 0; i < 2; i++ {
+		svc, err := NewNodeService(fmt.Sprintf("node-%d", i), NewSynthBackend(1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			svc.EnableIngest(0, 0)
+			svc.Observe(15 * time.Millisecond)
+		}
+		addr, err := svc.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := DialNode(addr, rpc.ClientOptions{CallTimeout: 2 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close(); svc.Close() })
+		transports = append(transports, node)
+	}
+	coord, err := NewCoordinator(Options{Budget: 200, Floor: 10}, transports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Adjust(NewRebalance()); err != nil {
+		t.Fatal(err)
+	}
+	deltas, queries, _ := coord.IngestCounts()
+	if deltas != 1 || queries != 1 {
+		t.Fatalf("ingest counts = (%d, %d), want the one delta node's (1, 1)", deltas, queries)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"powerchief/internal/cmp"
+	"powerchief/internal/stats"
 )
 
 // RPC method names of the fleet wire protocol. Like the fault wire codes,
@@ -39,6 +40,14 @@ type Report struct {
 	// Draw and Budget are the node's local power accounting.
 	Draw   cmp.Watts `json:"draw"`
 	Budget cmp.Watts `json:"budget"`
+
+	// Ingest carries the node's delta-batched query statistics — everything
+	// folded locally since the last heartbeat — when the node service has
+	// ingest enabled. The heartbeat is the transport: shipping the batch
+	// here costs zero extra RPCs and bounds staleness by the heartbeat
+	// interval. Omitempty keeps frames from old nodes (and to old
+	// coordinators) byte-identical when the feature is off.
+	Ingest *stats.Delta `json:"ingest,omitempty"`
 }
 
 // Grant re-assigns one node's power budget. Epoch is the coordinator's

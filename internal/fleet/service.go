@@ -9,6 +9,7 @@ import (
 	"powerchief/internal/cmp"
 	"powerchief/internal/fault"
 	"powerchief/internal/rpc"
+	"powerchief/internal/stats"
 )
 
 // Backend is the node-local system a NodeService fronts: whatever runs the
@@ -41,6 +42,12 @@ type NodeService struct {
 	mu     sync.Mutex
 	epoch  uint64
 	grants uint64
+
+	// ingest accumulates node-local completion statistics for delta-batched
+	// shipping on the heartbeat; nil until EnableIngest. start anchors the
+	// accumulator's virtual clock.
+	ingest *stats.DeltaAccumulator
+	start  time.Time
 }
 
 // NewNodeService builds a service for one named node.
@@ -58,14 +65,24 @@ func NewNodeService(name string, backend Backend) (*NodeService, error) {
 	rpc.HandleFunc(s.srv, MethodNodeReport, func(struct{}) (Report, error) {
 		s.mu.Lock()
 		epoch := s.epoch
+		acc := s.ingest
+		start := s.start
 		s.mu.Unlock()
-		return Report{
+		rep := Report{
 			Node:   s.name,
 			Epoch:  epoch,
 			Metric: s.backend.Metric(),
 			Draw:   s.backend.Draw(),
 			Budget: s.backend.Budget(),
-		}, nil
+		}
+		if acc != nil {
+			// The heartbeat is the delta transport: ship everything folded
+			// since the last report. A report lost in flight loses at most
+			// one heartbeat window of statistics — the coordinator's
+			// sequence-gap counter records it.
+			rep.Ingest = acc.Flush(time.Since(start))
+		}
+		return rep, nil
 	})
 	rpc.HandleFunc(s.srv, MethodNodeGrant, func(g Grant) (struct{}, error) {
 		s.mu.Lock()
@@ -91,6 +108,53 @@ func NewNodeService(name string, backend Backend) (*NodeService, error) {
 
 // Listen starts serving on addr and returns the bound address.
 func (s *NodeService) Listen(addr string) (string, error) { return s.srv.Listen(addr) }
+
+// EnableIngest arms delta-batched statistics ingest: node-local completions
+// folded through Observe/ObserveRecord are batched and shipped on the next
+// heartbeat report (zeros apply the stats defaults). The batch threshold
+// only bounds memory here — the flush cadence is the heartbeat.
+func (s *NodeService) EnableIngest(batch int, interval time.Duration) {
+	s.mu.Lock()
+	s.ingest = stats.NewDeltaAccumulator(batch, interval)
+	s.start = time.Now()
+	s.mu.Unlock()
+}
+
+// Observe folds one node-local completed query's end-to-end latency into
+// the pending delta. A no-op until EnableIngest.
+func (s *NodeService) Observe(latency time.Duration) {
+	s.mu.Lock()
+	acc := s.ingest
+	start := s.start
+	s.mu.Unlock()
+	if acc != nil {
+		acc.FoldQuery(time.Since(start), latency)
+	}
+}
+
+// ObserveRecord folds one per-instance latency record into the pending
+// delta. A no-op until EnableIngest.
+func (s *NodeService) ObserveRecord(instance, stage string, queuing, serving time.Duration) {
+	s.mu.Lock()
+	acc := s.ingest
+	start := s.start
+	s.mu.Unlock()
+	if acc != nil {
+		acc.FoldRecord(time.Since(start), instance, stage, queuing, serving)
+	}
+}
+
+// IngestPending reports the unflushed query count (telemetry).
+func (s *NodeService) IngestPending() uint64 {
+	s.mu.Lock()
+	acc := s.ingest
+	s.mu.Unlock()
+	if acc == nil {
+		return 0
+	}
+	q, _ := acc.Pending()
+	return q
+}
 
 // Epoch returns the last accepted grant epoch.
 func (s *NodeService) Epoch() uint64 {

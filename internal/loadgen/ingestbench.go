@@ -1,0 +1,236 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powerchief/internal/core"
+	"powerchief/internal/dist"
+	"powerchief/internal/rpc"
+	"powerchief/internal/stats"
+)
+
+// IngestBenchOptions configures the stat-ingest benchmark: the same synthetic
+// completion stream pushed through both wire shapes of dist.StatSink — one
+// MethodStatRecord call per completion (the legacy contract) versus one
+// MethodStatDelta call per batch — so the RPC reduction and the sustainable
+// completion rate of delta-batched ingest can be measured on real loopback
+// RPC, not estimated.
+type IngestBenchOptions struct {
+	// Workers is the number of producer goroutines, each with its own
+	// connection and (in delta mode) its own DeltaAccumulator — the same
+	// topology as N stage instances feeding one Command Center.
+	Workers int
+	// Duration is the measurement length per mode.
+	Duration time.Duration
+	// Batch is the delta-mode flush threshold in completed queries.
+	Batch int
+	// Interval is the delta-mode flush interval for partial batches.
+	Interval time.Duration
+}
+
+func (o IngestBenchOptions) withDefaults() IngestBenchOptions {
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.Batch <= 0 {
+		o.Batch = stats.DefaultDeltaBatch
+	}
+	if o.Interval <= 0 {
+		o.Interval = stats.DefaultDeltaInterval
+	}
+	return o
+}
+
+// IngestBenchSide is one mode's measurement.
+type IngestBenchSide struct {
+	Mode string `json:"mode"`
+	// Completions is the number of completed queries the sink's aggregator
+	// absorbed (counted at the sink, so lost work cannot inflate the rate).
+	Completions uint64 `json:"completions"`
+	// StatRPCs is the number of stat-carrying RPC calls that delivered them.
+	StatRPCs uint64  `json:"stat_rpcs"`
+	WallMS   float64 `json:"wall_ms"`
+	// CompletionsPerSec is the sustained stat-ingest rate.
+	CompletionsPerSec float64 `json:"completions_per_sec"`
+	// RPCsPerCompletion is the wire cost per completed query (1.0 for the
+	// per-record contract, ~1/batch for delta ingest).
+	RPCsPerCompletion float64 `json:"rpcs_per_completion"`
+}
+
+// IngestBenchResult pairs the per-record baseline with the delta-batched run
+// — the before/after artifact results/BENCH_ingest.json records.
+type IngestBenchResult struct {
+	Workers    int     `json:"workers"`
+	Batch      int     `json:"batch"`
+	IntervalMS float64 `json:"interval_ms"`
+
+	Record IngestBenchSide `json:"record"`
+	Delta  IngestBenchSide `json:"delta"`
+
+	// RPCReductionX is record RPCs-per-completion over delta
+	// RPCs-per-completion: how many legacy stat RPCs one delta frame
+	// replaces.
+	RPCReductionX float64 `json:"rpc_reduction_x"`
+	// ThroughputGainX is the delta-mode completion rate over the
+	// record-mode one.
+	ThroughputGainX float64 `json:"throughput_gain_x"`
+}
+
+// RunIngestBench measures both ingest contracts back to back against fresh
+// sinks and returns the paired result.
+func RunIngestBench(opts IngestBenchOptions) (IngestBenchResult, error) {
+	o := opts.withDefaults()
+	rec, err := runIngestSide("record", o)
+	if err != nil {
+		return IngestBenchResult{}, err
+	}
+	del, err := runIngestSide("delta", o)
+	if err != nil {
+		return IngestBenchResult{}, err
+	}
+	res := IngestBenchResult{
+		Workers:    o.Workers,
+		Batch:      o.Batch,
+		IntervalMS: float64(o.Interval) / float64(time.Millisecond),
+		Record:     rec,
+		Delta:      del,
+	}
+	if del.RPCsPerCompletion > 0 {
+		res.RPCReductionX = rec.RPCsPerCompletion / del.RPCsPerCompletion
+	}
+	if rec.CompletionsPerSec > 0 {
+		res.ThroughputGainX = del.CompletionsPerSec / rec.CompletionsPerSec
+	}
+	return res, nil
+}
+
+// runIngestSide drives one mode: Workers producers over real loopback RPC
+// against one StatSink for the configured duration.
+func runIngestSide(mode string, o IngestBenchOptions) (IngestBenchSide, error) {
+	start := time.Now()
+	agg := core.NewAggregatorOptions(time.Minute,
+		func() time.Duration { return time.Since(start) },
+		core.AggregatorOptions{Window: core.WindowBucketed})
+	sink := dist.NewStatSink(agg)
+	addr, err := sink.Listen("127.0.0.1:0")
+	if err != nil {
+		return IngestBenchSide{}, err
+	}
+	defer sink.Close()
+
+	deadline := start.Add(o.Duration)
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var err error
+			if mode == "record" {
+				err = ingestRecordWorker(addr, w, deadline)
+			} else {
+				err = ingestDeltaWorker(addr, w, start, deadline, o)
+			}
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return IngestBenchSide{}, fmt.Errorf("loadgen: ingest bench %s worker: %w", mode, err)
+	}
+
+	calls, queries, _ := sink.Counts()
+	side := IngestBenchSide{
+		Mode:        mode,
+		Completions: queries,
+		StatRPCs:    calls,
+		WallMS:      float64(wall) / float64(time.Millisecond),
+	}
+	if wall > 0 {
+		side.CompletionsPerSec = float64(queries) / wall.Seconds()
+	}
+	if queries > 0 {
+		side.RPCsPerCompletion = float64(calls) / float64(queries)
+	}
+	return side, nil
+}
+
+// synthLatency is the deterministic per-completion latency draw: a 1µs..1ms
+// sawtooth, cheap enough to never be the bottleneck and spread across enough
+// histogram bins to exercise the real fold path.
+func synthLatency(i int) time.Duration {
+	return time.Duration(i%1000+1) * time.Microsecond
+}
+
+// ingestRecordWorker pushes one MethodStatRecord call per completion — the
+// legacy contract, where wire round-trips gate the completion rate.
+func ingestRecordWorker(addr string, w int, deadline time.Time) error {
+	cli, err := rpc.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	inst := fmt.Sprintf("web-%d", w)
+	base := uint64(w) << 32
+	for i := 0; !time.Now().After(deadline); i++ {
+		lat := synthLatency(i)
+		args := dist.StatRecordArgs{
+			QueryID:   base + uint64(i),
+			LatencyNS: int64(lat),
+			Records: []dist.RecordWire{{
+				Instance: inst, Stage: "web",
+				ServeStart: time.Microsecond, ServeEnd: lat,
+			}},
+		}
+		if err := cli.Call(dist.MethodStatRecord, args, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingestDeltaWorker folds completions into a local DeltaAccumulator and
+// ships one MethodStatDelta call per batch — the tentpole contract, where
+// local folds gate the completion rate and the wire carries summaries.
+func ingestDeltaWorker(addr string, w int, start, deadline time.Time, o IngestBenchOptions) error {
+	cli, err := rpc.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	inst := fmt.Sprintf("web-%d", w)
+	acc := stats.NewDeltaAccumulator(o.Batch, o.Interval)
+	for i := 0; ; i++ {
+		// The deadline check is hoisted off the per-completion path: at
+		// millions of folds per second a time.Now per op would measurably
+		// skew the result.
+		if i&255 == 0 && time.Now().After(deadline) {
+			break
+		}
+		at := time.Since(start)
+		lat := synthLatency(i)
+		acc.FoldRecord(at, inst, "web", time.Microsecond, lat)
+		acc.FoldQuery(at, lat)
+		if d := acc.FlushIfDue(at); d != nil {
+			if err := cli.Call(dist.MethodStatDelta, d, nil); err != nil {
+				return err
+			}
+		}
+	}
+	// Drain the partial batch so the sink's completion count is exact.
+	if d := acc.Flush(time.Since(start)); d != nil {
+		if err := cli.Call(dist.MethodStatDelta, d, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunIngestBenchShape runs both sides briefly and checks the invariants
+// the full benchmark relies on: per-record mode costs exactly one RPC per
+// completion, delta mode batches (strictly fewer RPCs than completions), and
+// the sink's completion counts are exact (every fold delivered, including
+// the final partial-batch drain).
+func TestRunIngestBenchShape(t *testing.T) {
+	res, err := RunIngestBench(IngestBenchOptions{
+		Workers:  2,
+		Duration: 150 * time.Millisecond,
+		Batch:    64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Record.Completions == 0 || res.Delta.Completions == 0 {
+		t.Fatalf("empty sides: %+v", res)
+	}
+	if res.Record.StatRPCs != res.Record.Completions {
+		t.Fatalf("record mode: %d RPCs for %d completions, want 1:1",
+			res.Record.StatRPCs, res.Record.Completions)
+	}
+	if res.Delta.StatRPCs >= res.Delta.Completions {
+		t.Fatalf("delta mode did not batch: %d RPCs for %d completions",
+			res.Delta.StatRPCs, res.Delta.Completions)
+	}
+	// Workers flush every 64 completions plus at most one partial drain
+	// each, so the wire cost per completion is bounded by the batch size.
+	maxRPCs := res.Delta.Completions/64 + uint64(res.Workers)
+	if res.Delta.StatRPCs > maxRPCs {
+		t.Fatalf("delta mode sent %d RPCs, batch bound allows %d", res.Delta.StatRPCs, maxRPCs)
+	}
+	if res.RPCReductionX < 10 {
+		t.Fatalf("RPC reduction %.1fx below the 10x floor", res.RPCReductionX)
+	}
+}

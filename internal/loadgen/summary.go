@@ -22,6 +22,13 @@ type Provenance struct {
 	GoVersion   string `json:"go_version,omitempty"`
 	Hostname    string `json:"hostname,omitempty"`
 	Agents      int    `json:"agents,omitempty"`
+
+	// IngestBatch and IngestIntervalMS record the dist target's delta-ingest
+	// batching configuration (zero: per-record ingest). Runs with different
+	// batching have different statistic-staleness bounds, so cmp warns rather
+	// than silently comparing them.
+	IngestBatch      int     `json:"ingest_batch,omitempty"`
+	IngestIntervalMS float64 `json:"ingest_interval_ms,omitempty"`
 }
 
 var (

@@ -10,4 +10,13 @@
 // benchmark scale, quantile error set by the growth factor); TimeSeries
 // captures the traces behind the figure CSVs; Improvement computes the
 // baseline-over-policy ratios the evaluation tables report.
+//
+// For statistics that must cross a process boundary, Delta is the
+// delta-batched ingest frame (DESIGN.md §5j): a DeltaAccumulator folds
+// completions locally and flushes a versioned summary — per-instance
+// histogram digests on the shared BinGrowth geometry — every N completions
+// or T elapsed, whichever first. Because the digests share BucketWindow's
+// bin bounds, folding a delta into a bucketed window (AddDigest/FoldDigest)
+// is exact integer bin addition: a delta-fed window reports the same
+// statistics as per-record adds at the flush timestamp.
 package stats
