@@ -32,10 +32,11 @@ docs-lint:
 
 # Race-focused pass over the concurrency-heavy packages: the RPC transport,
 # the distributed control plane (including the chaos tests), the fleet
-# coordinator, the stage engine, the telemetry subsystem (ring buffers +
-# registry under concurrent writers), and the distributed benchmark harness.
+# coordinator, the budget arbiter (chaos property tests), the stage engine,
+# the telemetry subsystem (ring buffers + registry under concurrent writers),
+# the multi-tenant harness, and the distributed benchmark harness.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/dist/... ./internal/fleet/... ./internal/stage/... ./internal/telemetry/... ./internal/controlplane/... ./internal/live/... ./internal/benchnet/...
+	$(GO) test -race ./internal/rpc/... ./internal/dist/... ./internal/fleet/... ./internal/arbiter/... ./internal/stage/... ./internal/telemetry/... ./internal/controlplane/... ./internal/live/... ./internal/benchnet/... ./internal/harness/...
 
 # The fleet chaos smoke: a coordinator over three proxied node services,
 # kill one mid-run, assert Σ granted ≤ budget at every epoch plus reclaim
@@ -61,6 +62,15 @@ bench-net:
 bench-cmp: bench-net
 	$(GO) run ./cmd/powerbench cmp -max.qps.drop 25 -max.p50 150 \
 		-max.p99 200 -max.p999 250 results/BENCH_benchnet.json bench-net.json
+
+# The multi-tenant arbitration smoke: run the deterministic two-app DES
+# scenario twice (static halving vs the cross-app arbiter) and gate the
+# fresh figures against the checked-in artifact — Σ per-tenant grants must
+# stay under the chip budget at every epoch and arbitration must still beat
+# the static split on combined p99. Exits 1 on regression, 2 if incomparable.
+.PHONY: bench-tenant
+bench-tenant:
+	$(GO) run ./cmd/powerbench tenant -check results/BENCH_multitenant.json
 
 # The full local gate: what CI runs.
 check: vet staticcheck build test race docs-lint

@@ -1,0 +1,294 @@
+package main
+
+// powerbench tenant — the multi-tenant arbitration benchmark and its CI
+// gate. One deterministic two-app DES scenario (harness.BenchTenantScenario)
+// is run twice under the same seed: once with the initial split frozen
+// (static halving) and once with a cross-app arbiter re-granting per-tenant
+// budgets each epoch. The command prints both runs, reports the combined-p99
+// improvement, and can write the pair as a JSON artifact or gate a fresh run
+// against a checked-in one (results/BENCH_multitenant.json).
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"powerchief/internal/arbiter"
+	"powerchief/internal/core"
+	"powerchief/internal/harness"
+	"powerchief/internal/stats"
+)
+
+// tenantParams pins everything that must match for two multi-tenant
+// artifacts to be comparable.
+type tenantParams struct {
+	Scenario    string   `json:"scenario"`
+	Seed        int64    `json:"seed"`
+	Arbiter     string   `json:"arbiter"`
+	BudgetWatts float64  `json:"budget_watts"`
+	Tenants     []string `json:"tenants"`
+}
+
+// tenantTenant is one tenant's slice of a run.
+type tenantTenant struct {
+	Name           string  `json:"name"`
+	Policy         string  `json:"policy"`
+	QoSNS          int64   `json:"qos_ns"`
+	Submitted      uint64  `json:"submitted"`
+	Completed      uint64  `json:"completed"`
+	MeanNS         int64   `json:"mean_ns"`
+	P99NS          int64   `json:"p99_ns"`
+	InitialGrantW  float64 `json:"initial_grant_watts"`
+	FinalGrantW    float64 `json:"final_grant_watts"`
+	AvgGrantW      float64 `json:"avg_grant_watts"`
+	AvgPowerW      float64 `json:"avg_power_watts"`
+	BoostDecisions int     `json:"boost_decisions"`
+}
+
+// tenantRunRecord is one mode's (static or arbitrated) result.
+type tenantRunRecord struct {
+	Arbiter         string         `json:"arbiter"`
+	CombinedCount   int            `json:"combined_count"`
+	CombinedMeanNS  int64          `json:"combined_mean_ns"`
+	CombinedP50NS   int64          `json:"combined_p50_ns"`
+	CombinedP99NS   int64          `json:"combined_p99_ns"`
+	ArbiterEpochs   uint64         `json:"arbiter_epochs"`
+	Violations      int            `json:"violations"`
+	MaxGrantedWatts float64        `json:"max_granted_watts"`
+	Tenants         []tenantTenant `json:"tenants"`
+}
+
+// tenantArtifact is the BENCH_multitenant.json schema.
+type tenantArtifact struct {
+	Params     tenantParams    `json:"params"`
+	Static     tenantRunRecord `json:"static"`
+	Arbitrated tenantRunRecord `json:"arbitrated"`
+	// Improvement is static over arbitrated: >1 means arbitration won.
+	ImprovementMeanX float64 `json:"improvement_mean_x"`
+	ImprovementP99X  float64 `json:"improvement_p99_x"`
+}
+
+// runTenant implements `powerbench tenant`. Exit codes mirror `powerbench
+// cmp`: 0 pass, 1 regression (invariant violated, arbitration lost, or the
+// gated comparison crossed a threshold), 2 not comparable.
+func runTenant(args []string) int {
+	fs := flag.NewFlagSet("powerbench tenant", flag.ExitOnError)
+	seed := fs.Int64("seed", 42, "scenario seed (both runs share it)")
+	policy := fs.String("arbiter", "proportional", "arbitration strategy: proportional or fairness")
+	alpha := fs.Float64("alpha", 2, "fairness strategy exponent (arbiter=fairness)")
+	jsonOut := fs.String("json", "", "write the paired JSON artifact here (\"-\" for stdout)")
+	check := fs.String("check", "", "gate against this checked-in artifact (CI mode)")
+	tol := fs.Float64("tol", 0.20, "relative tolerance on combined latency vs the checked-in artifact")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: powerbench tenant [flags]")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+
+	var golden *tenantArtifact
+	if *check != "" {
+		raw, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "powerbench tenant:", err)
+			return 2
+		}
+		golden = new(tenantArtifact)
+		if err := json.Unmarshal(raw, golden); err != nil {
+			fmt.Fprintf(os.Stderr, "powerbench tenant: %s: %v\n", *check, err)
+			return 2
+		}
+		// Re-run exactly what the artifact recorded.
+		*seed = golden.Params.Seed
+		*policy = golden.Params.Arbiter
+	}
+
+	strategy, err := tenantStrategy(*policy, *alpha)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench tenant:", err)
+		return 2
+	}
+
+	static := harness.BenchTenantScenario(*seed)
+	staticRes, err := harness.RunMulti(static)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench tenant: static run:", err)
+		return 1
+	}
+	arbScenario := harness.BenchTenantScenario(*seed)
+	arbScenario.Arbiter = func() core.Policy { return arbiter.New(strategy) }
+	arbRes, err := harness.RunMulti(arbScenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench tenant: arbitrated run:", err)
+		return 1
+	}
+
+	art := &tenantArtifact{
+		Params: tenantParams{
+			Scenario:    static.Name,
+			Seed:        *seed,
+			Arbiter:     *policy,
+			BudgetWatts: float64(arbRes.Budget),
+			Tenants:     tenantNames(arbRes),
+		},
+		Static:           recordRun(staticRes),
+		Arbitrated:       recordRun(arbRes),
+		ImprovementMeanX: stats.Improvement(staticRes.Combined.Mean(), arbRes.Combined.Mean()),
+		ImprovementP99X:  stats.Improvement(staticRes.Combined.P99(), arbRes.Combined.P99()),
+	}
+
+	printTenantRun("static-split", art.Static)
+	printTenantRun(*policy, art.Arbitrated)
+	fmt.Printf("arbitration vs static halving: combined mean %.2fx, combined p99 %.2fx (budget %.1f W, %d arbiter epochs)\n",
+		art.ImprovementMeanX, art.ImprovementP99X, art.Params.BudgetWatts, art.Arbitrated.ArbiterEpochs)
+
+	if *jsonOut != "" {
+		payload, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "powerbench tenant:", err)
+			return 1
+		}
+		payload = append(payload, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(payload)
+		} else if err := os.WriteFile(*jsonOut, payload, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "powerbench tenant:", err)
+			return 1
+		}
+	}
+
+	// Intrinsic gates: the budget hierarchy invariant held, and arbitration
+	// beat the static split on combined p99 — the scenario's reason to exist.
+	fail := 0
+	if v := art.Static.Violations + art.Arbitrated.Violations; v != 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d budget-hierarchy violations (Σ child grants exceeded the root budget)\n", v)
+		fail = 1
+	}
+	if art.ImprovementP99X <= 1 {
+		fmt.Fprintf(os.Stderr, "FAIL: arbitration did not beat static halving on combined p99 (%.3fx)\n", art.ImprovementP99X)
+		fail = 1
+	}
+
+	if golden != nil {
+		if code := gateTenant(golden, art, *tol); code != 0 {
+			return code
+		}
+		fmt.Printf("PASS: matches %s within %.0f%% (combined p99 static %v arb %v)\n",
+			*check, *tol*100, time.Duration(art.Static.CombinedP99NS), time.Duration(art.Arbitrated.CombinedP99NS))
+	}
+	return fail
+}
+
+// tenantStrategy maps the flag value to an arbitration strategy.
+func tenantStrategy(name string, alpha float64) (arbiter.Strategy, error) {
+	switch name {
+	case "proportional":
+		return arbiter.Proportional{}, nil
+	case "fairness":
+		return arbiter.Fairness{Alpha: alpha}, nil
+	default:
+		return nil, fmt.Errorf("unknown arbiter strategy %q (want proportional or fairness)", name)
+	}
+}
+
+// tenantNames lists the run's tenants in order.
+func tenantNames(res *harness.MultiResult) []string {
+	out := make([]string, len(res.Tenants))
+	for i, t := range res.Tenants {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// recordRun flattens a MultiResult into the artifact schema.
+func recordRun(res *harness.MultiResult) tenantRunRecord {
+	rec := tenantRunRecord{
+		Arbiter:         res.Arbiter,
+		CombinedCount:   res.Combined.Count(),
+		CombinedMeanNS:  res.Combined.Mean().Nanoseconds(),
+		CombinedP50NS:   res.Combined.P50().Nanoseconds(),
+		CombinedP99NS:   res.Combined.P99().Nanoseconds(),
+		ArbiterEpochs:   res.ArbiterEpochs,
+		Violations:      res.Violations,
+		MaxGrantedWatts: float64(res.MaxGranted),
+	}
+	for _, t := range res.Tenants {
+		boosts := 0
+		for _, n := range t.Boosts {
+			boosts += n
+		}
+		rec.Tenants = append(rec.Tenants, tenantTenant{
+			Name:           t.Name,
+			Policy:         t.Policy,
+			QoSNS:          t.QoS.Nanoseconds(),
+			Submitted:      t.Submitted,
+			Completed:      t.Completed,
+			MeanNS:         t.Latency.Mean().Nanoseconds(),
+			P99NS:          t.Latency.P99().Nanoseconds(),
+			InitialGrantW:  float64(t.InitialGrant),
+			FinalGrantW:    float64(t.FinalGrant),
+			AvgGrantW:      float64(t.AvgGrant),
+			AvgPowerW:      float64(t.AvgPower),
+			BoostDecisions: boosts,
+		})
+	}
+	return rec
+}
+
+// printTenantRun renders one mode as a table row set.
+func printTenantRun(label string, rec tenantRunRecord) {
+	fmt.Printf("%-14s combined: %6d queries  mean %-12v p99 %-12v epochs %d  max Σgrants %.1f W\n",
+		label, rec.CombinedCount, time.Duration(rec.CombinedMeanNS), time.Duration(rec.CombinedP99NS),
+		rec.ArbiterEpochs, rec.MaxGrantedWatts)
+	for _, t := range rec.Tenants {
+		fmt.Printf("  %-10s qos %-8v p99 %-12v done %5d/%-5d grant %5.1f→%5.1f W (avg %5.1f)  power %5.1f W  boosts %d\n",
+			t.Name, time.Duration(t.QoSNS), time.Duration(t.P99NS), t.Completed, t.Submitted,
+			t.InitialGrantW, t.FinalGrantW, t.AvgGrantW, t.AvgPowerW, t.BoostDecisions)
+	}
+}
+
+// gateTenant compares a fresh artifact against the checked-in one. Params
+// must match exactly (else 2: not comparable); combined latencies must stay
+// within the relative tolerance and the fresh improvement must not collapse
+// (else 1: regression).
+func gateTenant(golden, fresh *tenantArtifact, tol float64) int {
+	if golden.Params.Scenario != fresh.Params.Scenario ||
+		golden.Params.Seed != fresh.Params.Seed ||
+		golden.Params.Arbiter != fresh.Params.Arbiter ||
+		len(golden.Params.Tenants) != len(fresh.Params.Tenants) {
+		fmt.Fprintf(os.Stderr, "NOT COMPARABLE: params differ: baseline %+v vs fresh %+v\n", golden.Params, fresh.Params)
+		return 2
+	}
+	for i := range golden.Params.Tenants {
+		if golden.Params.Tenants[i] != fresh.Params.Tenants[i] {
+			fmt.Fprintf(os.Stderr, "NOT COMPARABLE: tenant set differs: %v vs %v\n", golden.Params.Tenants, fresh.Params.Tenants)
+			return 2
+		}
+	}
+	fail := 0
+	within := func(metric string, want, got int64) {
+		if want == 0 {
+			return
+		}
+		if drift := math.Abs(float64(got)-float64(want)) / float64(want); drift > tol {
+			fmt.Fprintf(os.Stderr, "FAIL: %s drifted %.1f%% (baseline %v, fresh %v, tolerance %.0f%%)\n",
+				metric, drift*100, time.Duration(want), time.Duration(got), tol*100)
+			fail = 1
+		}
+	}
+	within("static combined p99", golden.Static.CombinedP99NS, fresh.Static.CombinedP99NS)
+	within("static combined mean", golden.Static.CombinedMeanNS, fresh.Static.CombinedMeanNS)
+	within("arbitrated combined p99", golden.Arbitrated.CombinedP99NS, fresh.Arbitrated.CombinedP99NS)
+	within("arbitrated combined mean", golden.Arbitrated.CombinedMeanNS, fresh.Arbitrated.CombinedMeanNS)
+	if fresh.Arbitrated.Violations != 0 || fresh.Static.Violations != 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: fresh run violated the budget hierarchy invariant")
+		fail = 1
+	}
+	if fresh.ImprovementP99X <= 1 {
+		fmt.Fprintf(os.Stderr, "FAIL: fresh arbitration no longer beats static halving (p99 %.3fx)\n", fresh.ImprovementP99X)
+		fail = 1
+	}
+	return fail
+}

@@ -1,0 +1,57 @@
+package arbiter
+
+import (
+	"time"
+
+	"powerchief/internal/cmp"
+	"powerchief/internal/core"
+)
+
+// StageMetric is one stage's Equation 1 expected delay inside a member's
+// pipeline — the per-stage breakdown behind the member's scalar bottleneck
+// metric. Fleet nodes forward it in heartbeat Reports (omitempty on the
+// wire) so the cluster-level arbiter can weight by marginal benefit, and
+// the multi-tenant harness builds it from each app's live aggregator.
+type StageMetric struct {
+	Stage  string        `json:"stage"`
+	Metric time.Duration `json:"metric"`
+}
+
+// Member is one competitor for the shared budget as the arbiter sees it: an
+// application domain under a chip, a node under a cluster.
+type Member struct {
+	// Control actuates the member's grant (emitted in SetBudgetActions) —
+	// a core.BudgetDomain child, a fleet ledger entry.
+	Control core.NodeControl
+	// Granted is the member's current grant in the parent's ledger.
+	Granted cmp.Watts
+	// Metric is the member's bottleneck metric: the Equation 1 expected
+	// delay of its slowest stage.
+	Metric time.Duration
+	// Target is the member's QoS latency target; zero means none, in which
+	// case strategies weight by the raw metric.
+	Target time.Duration
+	// Weight is the member's fairness weight (FastCap's share entitlement);
+	// zero or negative reads as 1.
+	Weight float64
+	// Pinned marks a member that holds the floor and does not compete for
+	// extra watts (a freshly re-admitted node in cooldown).
+	Pinned bool
+	// Breakdown is the optional per-stage Equation 1 breakdown behind
+	// Metric, slowest stage included.
+	Breakdown []StageMetric
+}
+
+// View is the arbiter's view of the parent domain: core.System for the
+// budget arithmetic — Budget() the parent cap, Draw() the sum of grants
+// (plus any watts held outside the member set) — plus the per-member state
+// the redistribution weighs.
+type View interface {
+	core.System
+	// Members returns the competitors in stable order.
+	Members() []Member
+	// Floor is the minimum per-member grant.
+	Floor() cmp.Watts
+	// Hysteresis is the minimum re-grant worth actuating.
+	Hysteresis() cmp.Watts
+}

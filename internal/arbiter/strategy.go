@@ -1,0 +1,132 @@
+package arbiter
+
+import "math"
+
+// Strategy turns the member set into non-negative redistribution weights:
+// member i's share of the extra watts (beyond the floor) is w_i / Σw. The
+// planner zeroes pinned members' weights and clamps negatives, so a
+// strategy only has to rank.
+type Strategy interface {
+	// Name tags the strategy in policy names and audit events.
+	Name() string
+	// Weights returns one weight per member, aligned with the input.
+	Weights(members []Member) []float64
+}
+
+// Proportional is the PowerChief rule one level up: feed the bottleneck.
+// Without QoS targets the weight is the raw bottleneck metric (the member
+// whose slowest stage is slowest attracts the most power — exactly the
+// fleet Rebalance weighting, preserved bit-for-bit). With a target the
+// weight is the member's slowdown, metric/target: an app 2× over its
+// target outweighs one at half of its own, regardless of their absolute
+// latency scales.
+type Proportional struct{}
+
+// Name implements Strategy.
+func (Proportional) Name() string { return "proportional" }
+
+// Weights implements Strategy.
+func (Proportional) Weights(members []Member) []float64 {
+	out := make([]float64, len(members))
+	for i, m := range members {
+		if m.Target > 0 {
+			out[i] = float64(m.Metric) / float64(m.Target)
+			continue
+		}
+		out[i] = float64(m.Metric)
+	}
+	return out
+}
+
+// Fairness is the FastCap-style fairness-weighted divider: each member's
+// share is its entitlement (Member.Weight) modulated by its slowdown raised
+// to Alpha. At Alpha 0 the cap is divided purely by entitlement — static
+// weighted fair shares; as Alpha grows the divider leans harder toward
+// whoever is furthest over target, converging on Proportional's behaviour.
+// Members without a target are measured against the mean metric of the set
+// instead, so the strategy still ranks when QoS targets are absent.
+type Fairness struct {
+	// Alpha is the slowdown exponent (default 1).
+	Alpha float64
+}
+
+// Name implements Strategy.
+func (Fairness) Name() string { return "fairness" }
+
+// Weights implements Strategy.
+func (f Fairness) Weights(members []Member) []float64 {
+	alpha := f.Alpha
+	if alpha == 0 {
+		alpha = 1 // unset reads as the default
+	} else if alpha < 0 {
+		alpha = 0 // pure entitlement split
+	}
+	// Reference for target-less members: the mean metric of the set.
+	var mean float64
+	if len(members) > 0 {
+		for _, m := range members {
+			mean += float64(m.Metric)
+		}
+		mean /= float64(len(members))
+	}
+	out := make([]float64, len(members))
+	for i, m := range members {
+		entitle := m.Weight
+		if entitle <= 0 {
+			entitle = 1
+		}
+		slow := 1.0
+		switch {
+		case m.Target > 0:
+			slow = float64(m.Metric) / float64(m.Target)
+		case mean > 0:
+			slow = float64(m.Metric) / mean
+		}
+		if slow < 0 {
+			slow = 0
+		}
+		out[i] = entitle * math.Pow(slow, alpha)
+	}
+	return out
+}
+
+// Marginal weights by how far the bottleneck stage protrudes over the mean
+// of the member's other stages — the marginal benefit of a watt: a member
+// whose pipeline is balanced gains little from extra power (every stage
+// would need some), while one with a single protruding bottleneck converts
+// the next watt straight into latency. Falls back to the scalar metric for
+// members without a breakdown, so mixed fleets (old nodes reporting one
+// scalar) still rank.
+type Marginal struct{}
+
+// Name implements Strategy.
+func (Marginal) Name() string { return "marginal" }
+
+// Weights implements Strategy.
+func (Marginal) Weights(members []Member) []float64 {
+	out := make([]float64, len(members))
+	for i, m := range members {
+		if len(m.Breakdown) < 2 {
+			out[i] = float64(m.Metric)
+			continue
+		}
+		slowest, rest := 0.0, 0.0
+		for _, s := range m.Breakdown {
+			v := float64(s.Metric)
+			if v > slowest {
+				slowest = v
+			}
+			rest += v
+		}
+		mean := (rest - slowest) / float64(len(m.Breakdown)-1)
+		out[i] = slowest - mean
+	}
+	return out
+}
+
+// Interface conformance.
+var (
+	_ Strategy = Proportional{}
+	_ Strategy = Fairness{}
+	_ Strategy = Marginal{}
+)

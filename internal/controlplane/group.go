@@ -1,0 +1,71 @@
+package controlplane
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group is a set of nested control loops sharing one Clock: the outer
+// cross-app arbiter epoch and the per-app PowerChief loops under a
+// multi-tenant budget hierarchy, or any other stack of control cadences
+// that must interleave deterministically.
+//
+// Registration order is the determinism contract, extended from the single
+// loop's adjust-before-sample rule: loops added earlier register their
+// epochs on the clock earlier, so when several fire at the same virtual
+// instant — an arbiter epoch that is a multiple of an app's control
+// interval — they run in Go() call order. Register the arbiter first: each
+// app loop then reacts to its fresh grant in the same instant, one epoch of
+// staleness never accumulates, and a DES run is reproducible bit for bit.
+type Group struct {
+	clock Clock
+
+	mu    sync.Mutex
+	loops []*Loop
+}
+
+// NewGroup builds an empty group over the shared clock.
+func NewGroup(clock Clock) (*Group, error) {
+	if clock == nil {
+		return nil, fmt.Errorf("controlplane: group needs a clock")
+	}
+	return &Group{clock: clock}, nil
+}
+
+// Clock returns the shared clock.
+func (g *Group) Clock() Clock { return g.clock }
+
+// Go starts one loop on the shared clock and tracks it for Stop. Options
+// are the same as Start's.
+func (g *Group) Go(adj Adjuster, opts Options) (*Loop, error) {
+	l, err := Start(g.clock, adj, opts)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	g.loops = append(g.loops, l)
+	g.mu.Unlock()
+	return l, nil
+}
+
+// Loops returns the started loops in registration order.
+func (g *Group) Loops() []*Loop {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Loop, len(g.loops))
+	copy(out, g.loops)
+	return out
+}
+
+// Stop halts every loop in reverse registration order — inner per-app loops
+// first, the outer arbiter last, mirroring teardown of any layered system —
+// and waits for in-flight adjusts to finish. Safe to call repeatedly.
+func (g *Group) Stop() {
+	g.mu.Lock()
+	loops := make([]*Loop, len(g.loops))
+	copy(loops, g.loops)
+	g.mu.Unlock()
+	for i := len(loops) - 1; i >= 0; i-- {
+		loops[i].Stop()
+	}
+}

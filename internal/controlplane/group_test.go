@@ -1,0 +1,98 @@
+package controlplane
+
+import (
+	"testing"
+	"time"
+
+	"powerchief/internal/core"
+	"powerchief/internal/sim"
+)
+
+// orderPolicy appends its tag to a shared log on every adjust.
+type orderPolicy struct {
+	tag string
+	log *[]string
+}
+
+func (p orderPolicy) Name() string { return p.tag }
+func (p orderPolicy) Adjust(core.System, *core.Aggregator) core.BoostOutcome {
+	*p.log = append(*p.log, p.tag)
+	return core.BoostOutcome{Kind: core.BoostNone}
+}
+
+type nopAdjuster struct{}
+
+func (nopAdjuster) Adjust(p core.Policy) (core.BoostOutcome, error) {
+	return p.Adjust(nil, nil), nil
+}
+
+// TestGroupNestedLoopsInterleaveDeterministically pins the registration
+// contract: when an outer (arbiter) epoch coincides with inner (per-app)
+// intervals on the shared DES clock, the loops fire in Go() call order —
+// arbiter first, then each app in registration order.
+func TestGroupNestedLoopsInterleaveDeterministically(t *testing.T) {
+	eng := sim.NewEngine()
+	g, err := NewGroup(SimClock(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log []string
+	// Outer arbiter every 2s, two inner app loops every 1s.
+	if _, err := g.Go(nopAdjuster{}, Options{Policy: orderPolicy{"arbiter", &log}, Interval: 2 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Go(nopAdjuster{}, Options{Policy: orderPolicy{"app-a", &log}, Interval: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Go(nopAdjuster{}, Options{Policy: orderPolicy{"app-b", &log}, Interval: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(4 * time.Second)
+	g.Stop()
+
+	want := []string{
+		"app-a", "app-b", // t=1s
+		"arbiter", "app-a", "app-b", // t=2s: arbiter first
+		"app-a", "app-b", // t=3s
+		"arbiter", "app-a", "app-b", // t=4s
+	}
+	if len(log) != len(want) {
+		t.Fatalf("fired %d epochs, want %d: %v", len(log), len(want), log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("epoch order diverged at %d: got %v, want %v", i, log, want)
+		}
+	}
+	if got := len(g.Loops()); got != 3 {
+		t.Fatalf("group tracks %d loops, want 3", got)
+	}
+}
+
+// TestGroupStopIsIdempotent: Stop twice (and after engine teardown) must not
+// hang or panic, and every loop's counters stay readable.
+func TestGroupStopIsIdempotent(t *testing.T) {
+	eng := sim.NewEngine()
+	g, err := NewGroup(SimClock(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log []string
+	l, err := g.Go(nopAdjuster{}, Options{Policy: orderPolicy{"only", &log}, Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(3 * time.Second)
+	g.Stop()
+	g.Stop()
+	if l.Total() != 3 {
+		t.Fatalf("loop ran %d epochs, want 3", l.Total())
+	}
+}
+
+// TestGroupRejectsNilClock pins the constructor contract.
+func TestGroupRejectsNilClock(t *testing.T) {
+	if _, err := NewGroup(nil); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"powerchief/internal/cmp"
+)
+
+// BudgetDomain is one node of the power-budget hierarchy: chip → application
+// → stage on a single machine, cluster → node across a fleet. The root
+// domain owns a hard cap; every child holds a grant carved out of its
+// parent, and the structural invariant — Σ child grants ≤ parent budget —
+// is enforced on every mutation, so no sequence of grants can oversubscribe
+// an ancestor. A child domain implements NodeControl, which is what lets a
+// cross-domain arbiter re-split a parent's budget with the same
+// SetBudgetAction / Executor machinery the fleet coordinator uses: grants
+// are validated by the budget replay, applied in order, and rolled back in
+// reverse on a mid-plan failure.
+//
+// A domain may carry an actuator: a hook invoked (under the hierarchy lock)
+// before a re-grant commits, wired to whatever enforces the budget for real
+// — cmp.Chip.SetBudget behind a DVFS-shedding pass for a per-app chip
+// partition, an RPC grant for a remote node. An actuator error rejects the
+// grant: the ledger keeps the old value and the error propagates to the
+// executor, which rolls the plan's applied prefix back. The actuator must
+// not call back into the hierarchy.
+type BudgetDomain struct {
+	// mu is shared by the whole tree (the root's), so a grant's
+	// validate-actuate-commit is atomic against concurrent re-grants of
+	// siblings and invariant checks observe consistent snapshots.
+	mu *sync.Mutex
+
+	name     string
+	parent   *BudgetDomain
+	budget   cmp.Watts
+	children []*BudgetDomain
+	actuate  func(cmp.Watts) error
+}
+
+// NewRootDomain creates the hierarchy root holding the hard cap.
+func NewRootDomain(name string, cap cmp.Watts) *BudgetDomain {
+	if name == "" {
+		panic("core: budget domain needs a name")
+	}
+	if cap <= 0 {
+		panic("core: root budget domain needs a positive cap")
+	}
+	return &BudgetDomain{mu: &sync.Mutex{}, name: name, budget: cap}
+}
+
+// NewChild carves a child domain out of this domain's budget with an
+// initial grant. The grant must fit next to the existing children; actuate,
+// when non-nil, is invoked on every later re-grant (not on creation — the
+// caller builds the child's initial state itself).
+func (d *BudgetDomain) NewChild(name string, grant cmp.Watts, actuate func(cmp.Watts) error) (*BudgetDomain, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: budget domain needs a name")
+	}
+	if grant < 0 {
+		return nil, fmt.Errorf("core: domain %s: negative initial grant", name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.children {
+		if c.name == name {
+			return nil, fmt.Errorf("core: domain %s already has a child %q", d.name, name)
+		}
+	}
+	if sum := d.grantedLocked() + grant; sum > d.budget+1e-9 {
+		return nil, fmt.Errorf("%w: child %s grant %.2fW pushes %s to %.2fW of %.2fW",
+			cmp.ErrBudgetExceeded, name, float64(grant), d.name, float64(sum), float64(d.budget))
+	}
+	c := &BudgetDomain{mu: d.mu, name: name, parent: d, budget: grant, actuate: actuate}
+	d.children = append(d.children, c)
+	return c, nil
+}
+
+// Name implements NodeControl.
+func (d *BudgetDomain) Name() string { return d.name }
+
+// Budget implements NodeControl: the domain's cap (root) or current grant
+// (child).
+func (d *BudgetDomain) Budget() cmp.Watts {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.budget
+}
+
+// Granted returns the sum of the domain's child grants — the domain-level
+// draw an arbiter's budget replay validates against.
+func (d *BudgetDomain) Granted() cmp.Watts {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.grantedLocked()
+}
+
+func (d *BudgetDomain) grantedLocked() cmp.Watts {
+	var sum cmp.Watts
+	for _, c := range d.children {
+		sum += c.budget
+	}
+	return sum
+}
+
+// Headroom returns Budget minus Granted: the watts not yet delegated to
+// children.
+func (d *BudgetDomain) Headroom() cmp.Watts {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.budget - d.grantedLocked()
+}
+
+// Children returns the child domains in creation order.
+func (d *BudgetDomain) Children() []*BudgetDomain {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*BudgetDomain, len(d.children))
+	copy(out, d.children)
+	return out
+}
+
+// Child returns the named child, or nil.
+func (d *BudgetDomain) Child(name string) *BudgetDomain {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.children {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// SetBudget implements NodeControl: re-grant this domain's budget. Raising a
+// child is validated against the parent's budget (Σ siblings + new ≤ parent
+// cap); lowering any domain below what it has itself granted downward is
+// rejected — the arbiter one level down must reclaim first, exactly the
+// chip's "recycle before you shrink" rule. The actuator, when set, runs
+// before the commit; its error leaves the ledger untouched and propagates,
+// so a plan applying this action rolls back.
+func (d *BudgetDomain) SetBudget(w cmp.Watts) error {
+	if w < 0 {
+		return fmt.Errorf("core: domain %s: negative budget %.2fW", d.name, float64(w))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if granted := d.grantedLocked(); w < granted-1e-9 {
+		return fmt.Errorf("%w: domain %s: new budget %.2fW below %.2fW granted to children",
+			cmp.ErrBudgetExceeded, d.name, float64(w), float64(granted))
+	}
+	if p := d.parent; p != nil {
+		if sum := p.grantedLocked() - d.budget + w; sum > p.budget+1e-9 {
+			return fmt.Errorf("%w: domain %s: grant %.2fW pushes %s to %.2fW of %.2fW",
+				cmp.ErrBudgetExceeded, d.name, float64(w), p.name, float64(sum), float64(p.budget))
+		}
+	}
+	if d.actuate != nil {
+		if err := d.actuate(w); err != nil {
+			return fmt.Errorf("core: domain %s: actuating %.2fW grant: %w", d.name, float64(w), err)
+		}
+	}
+	d.budget = w
+	return nil
+}
+
+// CheckInvariant verifies Σ child grants ≤ budget for this domain and every
+// descendant. Used by tests and the multi-tenant harness after every
+// arbiter epoch.
+func (d *BudgetDomain) CheckInvariant() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checkLocked()
+}
+
+func (d *BudgetDomain) checkLocked() error {
+	if sum := d.grantedLocked(); sum > d.budget+1e-6 {
+		return fmt.Errorf("core: domain %s grants %.6fW of a %.6fW budget", d.name, float64(sum), float64(d.budget))
+	}
+	for _, c := range d.children {
+		if err := c.checkLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DomainView wraps a System so its budget accounting comes from a budget
+// domain instead of the backend's own notion of "the budget" — the per-app
+// view under a multi-tenant hierarchy when apps share one physical chip.
+// Everything else (stages, draw, time) passes through.
+type DomainView struct {
+	System
+	domain *BudgetDomain
+}
+
+// NewDomainView builds the overlay. Systems with their own chip partition
+// (whose chip budget the domain actuator re-sets) do not need it; systems
+// sharing a backend do.
+func NewDomainView(sys System, d *BudgetDomain) *DomainView {
+	if sys == nil || d == nil {
+		panic("core: NewDomainView requires a system and a domain")
+	}
+	return &DomainView{System: sys, domain: d}
+}
+
+// Domain returns the wrapped domain.
+func (v *DomainView) Domain() *BudgetDomain { return v.domain }
+
+// Budget implements System: the domain's grant, not the backend's cap.
+func (v *DomainView) Budget() cmp.Watts { return v.domain.Budget() }
+
+// Headroom implements System: grant minus the backend's draw.
+func (v *DomainView) Headroom() cmp.Watts { return v.domain.Budget() - v.Draw() }
+
+// FreeCores implements System, re-anchored to the domain grant: the
+// backend's free cores, capped by how many minimum-power cores the domain
+// headroom can fund.
+func (v *DomainView) FreeCores() int {
+	free := v.System.FreeCores()
+	min := v.PowerModel().MinPower()
+	if min <= 0 {
+		return free
+	}
+	affordable := int(v.Headroom() / min)
+	if affordable < free {
+		return affordable
+	}
+	return free
+}
+
+// Now implements System (explicit to keep the promoted set obvious).
+func (v *DomainView) Now() time.Duration { return v.System.Now() }
+
+// Interface conformance.
+var (
+	_ NodeControl = (*BudgetDomain)(nil)
+	_ System      = (*DomainView)(nil)
+)

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"powerchief/internal/cmp"
+)
+
+func TestBudgetDomainHierarchyBasics(t *testing.T) {
+	root := NewRootDomain("chip", 100)
+	if root.Budget() != 100 || root.Granted() != 0 || root.Headroom() != 100 {
+		t.Fatalf("fresh root: budget=%v granted=%v headroom=%v", root.Budget(), root.Granted(), root.Headroom())
+	}
+	a, err := root.NewChild("app-a", 60, nil)
+	if err != nil {
+		t.Fatalf("NewChild a: %v", err)
+	}
+	b, err := root.NewChild("app-b", 40, nil)
+	if err != nil {
+		t.Fatalf("NewChild b: %v", err)
+	}
+	if root.Granted() != 100 || root.Headroom() != 0 {
+		t.Fatalf("after split: granted=%v headroom=%v", root.Granted(), root.Headroom())
+	}
+	if got := root.Child("app-b"); got != b {
+		t.Fatalf("Child(app-b) = %v", got)
+	}
+	if got := root.Child("nope"); got != nil {
+		t.Fatalf("Child(nope) = %v, want nil", got)
+	}
+	if kids := root.Children(); len(kids) != 2 || kids[0] != a || kids[1] != b {
+		t.Fatalf("Children() = %v", kids)
+	}
+	if err := root.CheckInvariant(); err != nil {
+		t.Fatalf("CheckInvariant: %v", err)
+	}
+}
+
+func TestBudgetDomainRejectsOversubscription(t *testing.T) {
+	root := NewRootDomain("chip", 100)
+	a, _ := root.NewChild("a", 60, nil)
+	b, _ := root.NewChild("b", 40, nil)
+
+	// A third child cannot fit.
+	if _, err := root.NewChild("c", 1, nil); !errors.Is(err, cmp.ErrBudgetExceeded) {
+		t.Fatalf("overfull NewChild error = %v, want ErrBudgetExceeded", err)
+	}
+	// Duplicate names are rejected.
+	if _, err := root.NewChild("a", 0, nil); err == nil {
+		t.Fatal("duplicate child name accepted")
+	}
+	// Raising a child past the parent cap fails; the ledger is untouched.
+	if err := a.SetBudget(61); !errors.Is(err, cmp.ErrBudgetExceeded) {
+		t.Fatalf("raise error = %v, want ErrBudgetExceeded", err)
+	}
+	if a.Budget() != 60 {
+		t.Fatalf("failed raise mutated grant to %v", a.Budget())
+	}
+	// Decrease-then-increase in the executor's order fits.
+	if err := b.SetBudget(30); err != nil {
+		t.Fatalf("lower b: %v", err)
+	}
+	if err := a.SetBudget(70); err != nil {
+		t.Fatalf("raise a into freed headroom: %v", err)
+	}
+	if root.Granted() != 100 {
+		t.Fatalf("granted = %v, want 100", root.Granted())
+	}
+	// Negative grants are rejected outright.
+	if err := a.SetBudget(-1); err == nil {
+		t.Fatal("negative grant accepted")
+	}
+}
+
+func TestBudgetDomainShrinkBelowChildGrantsRejected(t *testing.T) {
+	root := NewRootDomain("cluster", 100)
+	node, _ := root.NewChild("node", 80, nil)
+	if _, err := node.NewChild("stage", 50, nil); err != nil {
+		t.Fatalf("grandchild: %v", err)
+	}
+	// The node has delegated 50W downward; shrinking it to 40W would strand
+	// the grandchild's grant.
+	if err := node.SetBudget(40); !errors.Is(err, cmp.ErrBudgetExceeded) {
+		t.Fatalf("shrink error = %v, want ErrBudgetExceeded", err)
+	}
+	if node.Budget() != 80 {
+		t.Fatalf("failed shrink mutated grant to %v", node.Budget())
+	}
+	// Shrinking to exactly the delegated sum is allowed.
+	if err := node.SetBudget(50); err != nil {
+		t.Fatalf("shrink to granted sum: %v", err)
+	}
+	if err := root.CheckInvariant(); err != nil {
+		t.Fatalf("CheckInvariant: %v", err)
+	}
+}
+
+func TestBudgetDomainActuatorFailureLeavesLedger(t *testing.T) {
+	root := NewRootDomain("chip", 100)
+	var actuated []cmp.Watts
+	boom := errors.New("backend refused")
+	fail := true
+	a, _ := root.NewChild("a", 50, func(w cmp.Watts) error {
+		if fail {
+			return boom
+		}
+		actuated = append(actuated, w)
+		return nil
+	})
+	if err := a.SetBudget(60); !errors.Is(err, boom) {
+		t.Fatalf("actuator error = %v, want wrapped backend error", err)
+	}
+	if a.Budget() != 50 || len(actuated) != 0 {
+		t.Fatalf("failed actuation committed: budget=%v actuated=%v", a.Budget(), actuated)
+	}
+	fail = false
+	if err := a.SetBudget(60); err != nil {
+		t.Fatalf("actuated raise: %v", err)
+	}
+	if a.Budget() != 60 || len(actuated) != 1 || actuated[0] != 60 {
+		t.Fatalf("actuation not recorded: budget=%v actuated=%v", a.Budget(), actuated)
+	}
+}
+
+// TestBudgetDomainExecutorRollback drives a SetBudgetAction plan through the
+// real Executor against domain children and fails mid-plan: the applied
+// prefix must roll back to the prior split and the invariant must hold
+// throughout.
+func TestBudgetDomainExecutorRollback(t *testing.T) {
+	root := NewRootDomain("chip", 100)
+	a, _ := root.NewChild("a", 60, nil)
+	hang := false
+	b, _ := root.NewChild("b", 40, func(w cmp.Watts) error {
+		if hang {
+			return errors.New("app loop hung mid-plan")
+		}
+		return nil
+	})
+
+	// Decrease a, then increase b — second action fails, first must revert.
+	hang = true
+	plan := &ActionPlan{Actions: []Action{
+		&SetBudgetAction{Node: a, From: 60, To: 40, Reason: ReasonRebalance},
+		&SetBudgetAction{Node: b, From: 40, To: 60, Reason: ReasonRebalance},
+	}}
+	var ex Executor
+	sys := &domainArbiterSystem{root: root}
+	res := ex.Apply(sys, nil, plan)
+	if res.Err == nil {
+		t.Fatal("Apply succeeded despite hung actuator")
+	}
+	if !res.RolledBack {
+		t.Fatal("mid-plan failure did not roll back")
+	}
+	if a.Budget() != 60 || b.Budget() != 40 {
+		t.Fatalf("rollback did not restore split: a=%v b=%v", a.Budget(), b.Budget())
+	}
+	if err := root.CheckInvariant(); err != nil {
+		t.Fatalf("invariant after rollback: %v", err)
+	}
+
+	// Same plan with a healthy actuator commits.
+	hang = false
+	plan = &ActionPlan{Actions: []Action{
+		&SetBudgetAction{Node: a, From: 60, To: 40, Reason: ReasonRebalance},
+		&SetBudgetAction{Node: b, From: 40, To: 60, Reason: ReasonRebalance},
+	}}
+	if res := ex.Apply(sys, nil, plan); res.Err != nil {
+		t.Fatalf("healthy Apply: %v", res.Err)
+	}
+	if a.Budget() != 40 || b.Budget() != 60 {
+		t.Fatalf("plan not applied: a=%v b=%v", a.Budget(), b.Budget())
+	}
+}
+
+// domainArbiterSystem is the minimal System an Executor needs to validate
+// SetBudgetAction plans at the domain level: budget is the root cap, draw is
+// the sum of grants.
+type domainArbiterSystem struct {
+	root *BudgetDomain
+}
+
+func (s *domainArbiterSystem) Now() time.Duration          { return 0 }
+func (s *domainArbiterSystem) Stages() []StageControl      { return nil }
+func (s *domainArbiterSystem) Quarantined() []StageControl { return nil }
+func (s *domainArbiterSystem) PowerModel() cmp.PowerModel  { return cmp.DefaultModel() }
+func (s *domainArbiterSystem) Budget() cmp.Watts           { return s.root.Budget() }
+func (s *domainArbiterSystem) Draw() cmp.Watts             { return s.root.Granted() }
+func (s *domainArbiterSystem) Headroom() cmp.Watts         { return s.root.Headroom() }
+func (s *domainArbiterSystem) FreeCores() int              { return 0 }
+
+// TestBudgetDomainConservationChaos hammers a two-level hierarchy from
+// concurrent goroutines — re-grants, readers, invariant checks, and an
+// actuator that fails randomly — and asserts Σ child grants ≤ parent budget
+// is never observed violated. Run under -race in CI.
+func TestBudgetDomainConservationChaos(t *testing.T) {
+	const budget = 200
+	root := NewRootDomain("chip", budget)
+	flaky := func(seed int64) func(cmp.Watts) error {
+		rng := rand.New(rand.NewSource(seed))
+		var mu sync.Mutex
+		return func(cmp.Watts) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if rng.Intn(4) == 0 {
+				return errors.New("flaky backend")
+			}
+			return nil
+		}
+	}
+	var kids []*BudgetDomain
+	for i := 0; i < 4; i++ {
+		c, err := root.NewChild(fmt.Sprintf("app-%d", i), 50, flaky(int64(i)))
+		if err != nil {
+			t.Fatalf("child %d: %v", i, err)
+		}
+		kids = append(kids, c)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: each goroutine repeatedly tries random re-grants of one child.
+	for i, c := range kids {
+		wg.Add(1)
+		go func(c *BudgetDomain, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = c.SetBudget(cmp.Watts(rng.Intn(budget)))
+			}
+		}(c, int64(100+i))
+	}
+	// Checker: the invariant must hold at every observation.
+	wg.Add(1)
+	var checks int
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := root.CheckInvariant(); err != nil {
+				t.Error(err)
+				return
+			}
+			if g := root.Granted(); g > budget {
+				t.Errorf("granted %v exceeds budget", g)
+				return
+			}
+			checks++
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if checks == 0 {
+		t.Fatal("checker never ran")
+	}
+	if err := root.CheckInvariant(); err != nil {
+		t.Fatalf("final invariant: %v", err)
+	}
+}
+
+func TestDomainViewOverridesBudget(t *testing.T) {
+	// Backend reports budget 100, draw 30, 6 free cores.
+	base := &fakeSystem{model: cmp.DefaultModel(), budget: 100, draw: 30, freeCores: 6}
+	root := NewRootDomain("chip", 100)
+	grant, _ := root.NewChild("app", 45, nil)
+	v := NewDomainView(base, grant)
+
+	if v.Budget() != 45 {
+		t.Fatalf("Budget = %v, want the 45W grant", v.Budget())
+	}
+	if v.Headroom() != 15 {
+		t.Fatalf("Headroom = %v, want grant 45 - draw 30 = 15", v.Headroom())
+	}
+	if v.Domain() != grant {
+		t.Fatal("Domain() lost the wrapped domain")
+	}
+	// FreeCores is capped by what the grant headroom can fund.
+	min := v.PowerModel().MinPower()
+	want := int(v.Headroom() / min)
+	if want > base.FreeCores() {
+		want = base.FreeCores()
+	}
+	if got := v.FreeCores(); got != want {
+		t.Fatalf("FreeCores = %d, want %d", got, want)
+	}
+	// A re-grant is visible immediately through the view.
+	if err := grant.SetBudget(80); err != nil {
+		t.Fatalf("re-grant: %v", err)
+	}
+	if v.Budget() != 80 || v.Headroom() != 50 {
+		t.Fatalf("after re-grant: budget=%v headroom=%v", v.Budget(), v.Headroom())
+	}
+}

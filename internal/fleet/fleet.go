@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"powerchief/internal/arbiter"
 	"powerchief/internal/cmp"
 	"powerchief/internal/core"
 	"powerchief/internal/fault"
@@ -87,13 +88,14 @@ type nodeState struct {
 	name string
 
 	// All fields below are guarded by c.mu.
-	health   fault.Health
-	fails    int
-	lastErr  error
-	granted  cmp.Watts
-	epoch    uint64 // fencing epoch of the last accepted grant
-	metric   time.Duration
-	cooldown int // epochs left pinned at the floor after re-admission
+	health    fault.Health
+	fails     int
+	lastErr   error
+	granted   cmp.Watts
+	epoch     uint64 // fencing epoch of the last accepted grant
+	metric    time.Duration
+	breakdown []arbiter.StageMetric // per-stage Eq. 1 behind metric (optional)
+	cooldown  int                   // epochs left pinned at the floor after re-admission
 }
 
 // Name implements core.NodeControl.
@@ -135,6 +137,9 @@ type NodeView struct {
 	Granted cmp.Watts
 	// Metric is the node's last fenced-and-accepted bottleneck metric.
 	Metric time.Duration
+	// Breakdown is the per-stage Equation 1 breakdown behind Metric, when
+	// the node forwards one in its Reports; nil for scalar-only nodes.
+	Breakdown []arbiter.StageMetric
 	// Pinned marks a freshly re-admitted node still in cooldown: it holds
 	// the floor and does not compete for extra watts.
 	Pinned bool
@@ -259,6 +264,7 @@ func (c *Coordinator) Adjust(policy core.Policy) (core.BoostOutcome, error) {
 		granted := n.granted
 		if !fencedRep {
 			n.metric = rep.Metric
+			n.breakdown = rep.Stages
 			if n.cooldown > 0 {
 				n.cooldown--
 			}
@@ -591,7 +597,29 @@ func (c *Coordinator) HealthyNodes() []NodeView {
 		if n.health != fault.Healthy && n.health != fault.Suspect {
 			continue
 		}
-		out = append(out, NodeView{Control: n, Granted: n.granted, Metric: n.metric, Pinned: n.cooldown > 0})
+		out = append(out, NodeView{Control: n, Granted: n.granted, Metric: n.metric, Breakdown: n.breakdown, Pinned: n.cooldown > 0})
+	}
+	return out
+}
+
+// Members implements arbiter.View: the healthy nodes as budget-arbitration
+// members with no QoS target and unit fairness weight — cluster→node is the
+// same redistribution shape as chip→app, one level up.
+func (c *Coordinator) Members() []arbiter.Member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []arbiter.Member
+	for _, n := range c.nodes {
+		if n.health != fault.Healthy && n.health != fault.Suspect {
+			continue
+		}
+		out = append(out, arbiter.Member{
+			Control:   n,
+			Granted:   n.granted,
+			Metric:    n.metric,
+			Breakdown: n.breakdown,
+			Pinned:    n.cooldown > 0,
+		})
 	}
 	return out
 }
@@ -704,5 +732,6 @@ func (c *Coordinator) RegisterMetrics(reg *telemetry.Registry) {
 var (
 	_ core.System      = (*Coordinator)(nil)
 	_ ClusterView      = (*Coordinator)(nil)
+	_ arbiter.View     = (*Coordinator)(nil)
 	_ core.NodeControl = (*nodeState)(nil)
 )

@@ -1,173 +1,57 @@
 package fleet
 
 import (
+	"powerchief/internal/arbiter"
 	"powerchief/internal/core"
 	"powerchief/internal/telemetry"
-
-	"powerchief/internal/cmp"
 )
 
-// Rebalance is the fleet's redistribution policy, implemented as a
-// core.Planner one level up from the stage policies: every control epoch it
-// computes per-node budget targets from the reported bottleneck metrics and
-// emits a plan of SetBudgetActions — decreases before increases, so the
-// executor's budget replay holds Σ granted ≤ cap at every intermediate
-// state.
-//
-// The target for each participating node is the floor plus a share of the
-// remaining watts proportional to its bottleneck metric (Equation 1
-// aggregated upward): the node whose slowest stage is slowest attracts the
-// most power — the same "feed the bottleneck" rule PowerChief applies to
-// stages, applied to nodes. Pinned (freshly re-admitted) nodes hold the
-// floor until their cooldown expires; moves smaller than the hysteresis are
-// suppressed, and any headroom left over after suppression is redistributed
-// so no watts are stranded by the flap guard.
+// Rebalance is the fleet's redistribution policy: the level-agnostic
+// arbiter.Planner applied at the cluster→node level with the proportional
+// (feed-the-bottleneck) strategy. Every control epoch it computes per-node
+// budget targets from the reported bottleneck metrics and emits a plan of
+// SetBudgetActions — decreases before increases, so the executor's budget
+// replay holds Σ granted ≤ cap at every intermediate state. Floors, pinned
+// (freshly re-admitted) nodes, hysteresis with leftover redistribution and
+// the feasibility scale-down all live in the shared planner; see
+// internal/arbiter.
 type Rebalance struct {
+	inner *arbiter.Planner
 	audit *telemetry.AuditLog
 }
 
 // NewRebalance builds the policy.
-func NewRebalance() *Rebalance { return &Rebalance{} }
+func NewRebalance() *Rebalance {
+	return &Rebalance{inner: arbiter.New(arbiter.Proportional{}).WithName("fleet-rebalance")}
+}
+
+// NewRebalanceWith builds the policy over a custom weighting strategy —
+// arbiter.Marginal weights by the per-stage Equation 1 breakdown nodes
+// forward in their Reports, arbiter.Fairness divides FastCap-style.
+func NewRebalanceWith(s arbiter.Strategy) *Rebalance {
+	return &Rebalance{inner: arbiter.New(s).WithName("fleet-rebalance")}
+}
 
 // Name implements core.Policy.
 func (*Rebalance) Name() string { return "fleet-rebalance" }
 
 // SetAudit implements core.AuditSetter.
-func (r *Rebalance) SetAudit(a *telemetry.AuditLog) { r.audit = a }
+func (r *Rebalance) SetAudit(a *telemetry.AuditLog) {
+	r.audit = a
+	r.inner.SetAudit(a)
+}
 
-// Plan implements core.Planner. sys must be a ClusterView (the Coordinator);
-// anything else yields an empty plan.
-func (r *Rebalance) Plan(sys core.System, _ *core.Aggregator) (*core.ActionPlan, core.BoostOutcome) {
-	none := core.BoostOutcome{Kind: core.BoostNone}
-	cv, ok := sys.(ClusterView)
-	if !ok {
-		return &core.ActionPlan{}, none
+// Plan implements core.Planner. sys must be an arbiter.View (the
+// Coordinator) or a ClusterView (adapted on the fly); anything else yields
+// an empty plan.
+func (r *Rebalance) Plan(sys core.System, agg *core.Aggregator) (*core.ActionPlan, core.BoostOutcome) {
+	if _, ok := sys.(arbiter.View); ok {
+		return r.inner.Plan(sys, agg)
 	}
-	nodes := cv.HealthyNodes()
-	if len(nodes) == 0 {
-		return &core.ActionPlan{}, none
+	if cv, ok := sys.(ClusterView); ok {
+		return r.inner.Plan(clusterLens{cv}, agg)
 	}
-	floor, hyst := cv.Floor(), cv.Hysteresis()
-
-	// The distributable pool: the cluster budget minus watts held outside
-	// the healthy set (quarantined nodes keep their grant until the reclaim
-	// pass takes it back).
-	var healthyGranted cmp.Watts
-	for _, n := range nodes {
-		healthyGranted += n.Granted
-	}
-	avail := cv.Budget() - (cv.Draw() - healthyGranted)
-	if avail < 0 {
-		avail = 0
-	}
-	extra := avail - cmp.Watts(len(nodes))*floor
-	if extra < 0 {
-		extra = 0
-	}
-
-	// Metric-weighted targets: floor plus the bottleneck-proportional share
-	// of the extra. Pinned nodes hold the floor.
-	unpinned := 0
-	var sumW float64
-	weights := make([]float64, len(nodes))
-	for i, n := range nodes {
-		if n.Pinned {
-			continue
-		}
-		unpinned++
-		w := float64(n.Metric)
-		if w < 0 {
-			w = 0
-		}
-		weights[i] = w
-		sumW += w
-	}
-	desired := make([]cmp.Watts, len(nodes))
-	for i, n := range nodes {
-		if n.Pinned {
-			desired[i] = floor
-			continue
-		}
-		var share float64
-		if sumW > 0 {
-			share = weights[i] / sumW
-		} else if unpinned > 0 {
-			share = 1 / float64(unpinned)
-		}
-		desired[i] = floor + cmp.Watts(float64(extra)*share)
-	}
-
-	// Hysteresis: a move smaller than the threshold keeps the current
-	// grant, so metric noise does not flap watts between nodes.
-	for i, n := range nodes {
-		d := desired[i] - n.Granted
-		if d < 0 {
-			d = -d
-		}
-		if d <= hyst {
-			desired[i] = n.Granted
-		}
-	}
-
-	// Feasibility: hysteresis keeps can push the sum over the pool (a kept
-	// grant above its computed target). Cut the increases proportionally —
-	// the overshoot never exceeds their sum, since Σ granted ≤ pool held
-	// before this epoch.
-	var sum cmp.Watts
-	for _, d := range desired {
-		sum += d
-	}
-	if sum > avail {
-		var incTotal cmp.Watts
-		for i, n := range nodes {
-			if desired[i] > n.Granted {
-				incTotal += desired[i] - n.Granted
-			}
-		}
-		if incTotal > 0 {
-			scale := float64(sum-avail) / float64(incTotal)
-			if scale > 1 {
-				scale = 1
-			}
-			for i, n := range nodes {
-				if desired[i] > n.Granted {
-					desired[i] -= cmp.Watts(float64(desired[i]-n.Granted) * scale)
-				}
-			}
-		}
-	} else if left := avail - sum; left > 1e-9 && unpinned > 0 {
-		// Keeps (or a shrunken fleet) left headroom unallocated. Spread it
-		// equally over the unpinned nodes, overriding hysteresis: the flap
-		// guard must never strand watts — after a 10-node kill the reclaimed
-		// power lands on the survivors this epoch even when each node's
-		// share is individually below the threshold.
-		per := left / cmp.Watts(unpinned)
-		for i, n := range nodes {
-			if !n.Pinned {
-				desired[i] += per
-			}
-		}
-	}
-
-	// Emit decreases first, then increases: the executor replays the budget
-	// in plan order, so freeing watts before spending them keeps every
-	// intermediate state under the cap.
-	plan := &core.ActionPlan{}
-	for i, n := range nodes {
-		if desired[i] < n.Granted-1e-9 {
-			plan.Actions = append(plan.Actions, &core.SetBudgetAction{
-				Node: n.Control, From: n.Granted, To: desired[i], Reason: core.ReasonRebalance,
-			})
-		}
-	}
-	for i, n := range nodes {
-		if desired[i] > n.Granted+1e-9 {
-			plan.Actions = append(plan.Actions, &core.SetBudgetAction{
-				Node: n.Control, From: n.Granted, To: desired[i], Reason: core.ReasonRebalance,
-			})
-		}
-	}
-	return plan, none
+	return &core.ActionPlan{}, core.BoostOutcome{Kind: core.BoostNone}
 }
 
 // Adjust implements core.Policy: plan, then actuate through the validating,
@@ -179,6 +63,29 @@ func (r *Rebalance) Adjust(sys core.System, agg *core.Aggregator) core.BoostOutc
 	res := core.Executor{Audit: r.audit}.Apply(sys, agg, plan)
 	if res.Err != nil {
 		return core.BoostOutcome{Kind: core.BoostNone}
+	}
+	return out
+}
+
+// clusterLens adapts a bare ClusterView (hand-built test clusters, foreign
+// coordinators) to the arbiter's view: healthy nodes become members with no
+// QoS target and unit fairness weight.
+type clusterLens struct {
+	ClusterView
+}
+
+// Members implements arbiter.View.
+func (l clusterLens) Members() []arbiter.Member {
+	nodes := l.HealthyNodes()
+	out := make([]arbiter.Member, len(nodes))
+	for i, n := range nodes {
+		out[i] = arbiter.Member{
+			Control:   n.Control,
+			Granted:   n.Granted,
+			Metric:    n.Metric,
+			Pinned:    n.Pinned,
+			Breakdown: n.Breakdown,
+		}
 	}
 	return out
 }

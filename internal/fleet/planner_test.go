@@ -39,7 +39,7 @@ type fakeCluster struct {
 	held cmp.Watts
 }
 
-func (f *fakeCluster) Now() time.Duration        { return 0 }
+func (f *fakeCluster) Now() time.Duration         { return 0 }
 func (f *fakeCluster) PowerModel() cmp.PowerModel { return cmp.DefaultModel() }
 func (f *fakeCluster) Budget() cmp.Watts          { return f.budget }
 func (f *fakeCluster) Draw() cmp.Watts {

@@ -3,6 +3,7 @@ package fleet
 import (
 	"time"
 
+	"powerchief/internal/arbiter"
 	"powerchief/internal/cmp"
 	"powerchief/internal/stats"
 )
@@ -40,6 +41,14 @@ type Report struct {
 	// Draw and Budget are the node's local power accounting.
 	Draw   cmp.Watts `json:"draw"`
 	Budget cmp.Watts `json:"budget"`
+
+	// Stages is the per-stage Equation 1 breakdown behind Metric, when the
+	// node's backend exposes one — it lets the coordinator's arbiter weight
+	// by marginal benefit (how far the bottleneck protrudes over the rest
+	// of the pipeline) instead of absolute slowness. Omitempty keeps frames
+	// from scalar-only nodes byte-identical, and old coordinators simply
+	// ignore the field — mixed fleets interoperate both directions.
+	Stages []arbiter.StageMetric `json:"stages,omitempty"`
 
 	// Ingest carries the node's delta-batched query statistics — everything
 	// folded locally since the last heartbeat — when the node service has

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"powerchief/internal/arbiter"
 	"powerchief/internal/cmp"
 	"powerchief/internal/fault"
 	"powerchief/internal/rpc"
@@ -28,6 +29,17 @@ type Backend interface {
 	// SetBudget re-grants the node's local budget, shedding load first if
 	// the new budget is below the current draw.
 	SetBudget(cmp.Watts) error
+}
+
+// StageReporter is the optional Backend extension for nodes that can break
+// their bottleneck metric down per stage. A NodeService forwards the
+// breakdown in its heartbeat Reports (omitempty on the wire), letting the
+// coordinator's arbiter weight by marginal benefit; scalar-only backends
+// simply never populate the field.
+type StageReporter interface {
+	// StageMetrics returns the per-stage Equation 1 expected delays behind
+	// Metric, bottleneck included.
+	StageMetrics() []arbiter.StageMetric
 }
 
 // NodeService serves the fleet wire protocol for one node. It enforces the
@@ -74,6 +86,9 @@ func NewNodeService(name string, backend Backend) (*NodeService, error) {
 			Metric: s.backend.Metric(),
 			Draw:   s.backend.Draw(),
 			Budget: s.backend.Budget(),
+		}
+		if sr, ok := s.backend.(StageReporter); ok {
+			rep.Stages = sr.StageMetrics()
 		}
 		if acc != nil {
 			// The heartbeat is the delta transport: ship everything folded
@@ -222,6 +237,24 @@ func synthMetric(load float64, budget cmp.Watts) time.Duration {
 		w = 1
 	}
 	return time.Duration(load / w * float64(time.Second))
+}
+
+// synthStages is the deterministic per-stage breakdown behind synthMetric: a
+// fast ingress stage and the compute bottleneck. SimNode and SynthBackend
+// share it so DES and RPC fleets forward identical breakdowns.
+func synthStages(load float64, budget cmp.Watts) []arbiter.StageMetric {
+	m := synthMetric(load, budget)
+	return []arbiter.StageMetric{
+		{Stage: "ingress", Metric: m * 2 / 5},
+		{Stage: "compute", Metric: m},
+	}
+}
+
+// StageMetrics implements StageReporter.
+func (b *SynthBackend) StageMetrics() []arbiter.StageMetric {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return synthStages(b.load, b.budget)
 }
 
 // Draw implements Backend: the node consumes what its load needs, capped by

@@ -76,6 +76,7 @@ func (n *SimNode) Report() (Report, error) {
 		Metric: synthMetric(n.load, n.budget),
 		Draw:   n.budget,
 		Budget: n.budget,
+		Stages: synthStages(n.load, n.budget),
 	}, nil
 }
 

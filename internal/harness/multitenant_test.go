@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"powerchief/internal/app"
+	"powerchief/internal/arbiter"
+	"powerchief/internal/core"
+	"powerchief/internal/workload"
+)
+
+// twoTenantScenario is the controlled fixture: one nearly idle tenant and
+// one overloaded tenant with identical pipelines, so arbitration has an
+// unambiguous right answer (move watts to the busy one).
+func twoTenantScenario(arb func() core.Policy, seed int64) MultiScenario {
+	tenant := func(name string, load float64) Tenant {
+		return Tenant{
+			Name: name, App: app.WebSearch(),
+			Instances:      []int{1, 1},
+			Level:          6,
+			QoS:            500 * time.Millisecond,
+			AdjustInterval: 10 * time.Second,
+			Source: func(capacity float64) workload.Source {
+				return workload.Constant(load * capacity)
+			},
+		}
+	}
+	return MultiScenario{
+		Name:            "two-tenant-test",
+		Tenants:         []Tenant{tenant("idle", 0.1), tenant("busy", 2.5)},
+		Arbiter:         arb,
+		ArbiterInterval: 20 * time.Second,
+		Duration:        300 * time.Second,
+		Seed:            seed,
+	}
+}
+
+func proportionalArbiter() core.Policy { return arbiter.New(arbiter.Proportional{}) }
+
+// TestRunMultiConservesBudgetEveryEpoch is the hierarchy acceptance
+// property: across every arbiter epoch Σ per-tenant grants stays within the
+// chip budget, and the arbitration visibly moves watts toward the
+// overloaded tenant.
+func TestRunMultiConservesBudgetEveryEpoch(t *testing.T) {
+	res, err := RunMulti(twoTenantScenario(proportionalArbiter, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("domain invariant violated after %d arbiter epochs", res.Violations)
+	}
+	if res.ArbiterEpochs < 5 {
+		t.Fatalf("arbiter ran only %d epochs", res.ArbiterEpochs)
+	}
+	if res.MaxGranted > res.Budget+1e-6 {
+		t.Fatalf("Σ grants peaked at %.4fW over the %.4fW budget", float64(res.MaxGranted), float64(res.Budget))
+	}
+	idle, busy := res.Tenants[0], res.Tenants[1]
+	if idle.Name != "idle" || busy.Name != "busy" {
+		t.Fatalf("tenant order changed: %q, %q", idle.Name, busy.Name)
+	}
+	if busy.FinalGrant <= busy.InitialGrant {
+		t.Fatalf("arbitration never raised the busy tenant: %.2fW -> %.2fW",
+			float64(busy.InitialGrant), float64(busy.FinalGrant))
+	}
+	if idle.FinalGrant >= idle.InitialGrant {
+		t.Fatalf("arbitration never reclaimed from the idle tenant: %.2fW -> %.2fW",
+			float64(idle.InitialGrant), float64(idle.FinalGrant))
+	}
+	if sum := idle.FinalGrant + busy.FinalGrant; sum > res.Budget+1e-6 {
+		t.Fatalf("final split %.4fW exceeds budget %.4fW", float64(sum), float64(res.Budget))
+	}
+	if idle.Completed == 0 || busy.Completed == 0 {
+		t.Fatalf("tenants completed %d/%d queries", idle.Completed, busy.Completed)
+	}
+}
+
+// TestRunMultiStaticBaselineKeepsSplit pins the nil-Arbiter contract: the
+// initial weight-proportional split never moves.
+func TestRunMultiStaticBaselineKeepsSplit(t *testing.T) {
+	res, err := RunMulti(twoTenantScenario(nil, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arbiter != "static-split" {
+		t.Fatalf("baseline named %q", res.Arbiter)
+	}
+	if res.ArbiterEpochs != 0 || res.Violations != 0 {
+		t.Fatalf("baseline ran %d arbiter epochs, %d violations", res.ArbiterEpochs, res.Violations)
+	}
+	for _, tr := range res.Tenants {
+		if tr.FinalGrant != tr.InitialGrant {
+			t.Fatalf("tenant %s drifted from %.2fW to %.2fW without an arbiter",
+				tr.Name, float64(tr.InitialGrant), float64(tr.FinalGrant))
+		}
+	}
+}
+
+// TestRunMultiArbitrationBeatsStaticSplit is the headline comparison: same
+// arrivals, same budget — re-granting QoS headroom to the overloaded tenant
+// must beat the frozen split on combined P99.
+func TestRunMultiArbitrationBeatsStaticSplit(t *testing.T) {
+	static, err := RunMulti(twoTenantScenario(nil, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb, err := RunMulti(twoTenantScenario(proportionalArbiter, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arb.Combined.P99() >= static.Combined.P99() {
+		t.Fatalf("arbitration did not improve combined P99: %v vs static %v",
+			arb.Combined.P99(), static.Combined.P99())
+	}
+	if _, p99 := CombinedImprovement(static, arb); p99 <= 1 {
+		t.Fatalf("improvement ratio %.3f not above 1", p99)
+	}
+}
+
+// TestRunMultiDeterministic: same scenario, same seed, same numbers.
+func TestRunMultiDeterministic(t *testing.T) {
+	a, err := RunMulti(twoTenantScenario(proportionalArbiter, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMulti(twoTenantScenario(proportionalArbiter, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Combined.Count() != b.Combined.Count() || a.Combined.P99() != b.Combined.P99() {
+		t.Fatalf("runs diverged: %d/%v vs %d/%v",
+			a.Combined.Count(), a.Combined.P99(), b.Combined.Count(), b.Combined.P99())
+	}
+	for i := range a.Tenants {
+		if a.Tenants[i].FinalGrant != b.Tenants[i].FinalGrant {
+			t.Fatalf("tenant %s final grant diverged: %v vs %v",
+				a.Tenants[i].Name, a.Tenants[i].FinalGrant, b.Tenants[i].FinalGrant)
+		}
+	}
+}
+
+// TestRunMultiRollbackPreservesSplit wires an unshedable cut: the idle
+// tenant sits at the DVFS floor, and an explicit Floor below its minimum
+// draw makes every arbiter epoch demand a cut its actuator must refuse. The
+// executor rolls the plan back, so the split never moves and the busy
+// tenant's increase (planned after the decrease) never lands half-applied.
+func TestRunMultiRollbackPreservesSplit(t *testing.T) {
+	sc := twoTenantScenario(proportionalArbiter, 3)
+	sc.Tenants[0].Level = 0 // idle tenant already at the ladder floor
+	sc.Floor = 0.5          // below the idle tenant's minimum draw
+	sc.Hysteresis = 0.01
+	res, err := RunMulti(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ArbiterEpochs < 5 {
+		t.Fatalf("arbiter ran only %d epochs", res.ArbiterEpochs)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%d invariant violations during rollbacks", res.Violations)
+	}
+	for _, tr := range res.Tenants {
+		if tr.FinalGrant != tr.InitialGrant {
+			t.Fatalf("rollback leaked: tenant %s moved from %.4fW to %.4fW",
+				tr.Name, float64(tr.InitialGrant), float64(tr.FinalGrant))
+		}
+	}
+}
+
+// TestBenchTenantScenario smoke-runs the recorded benchmark shape under
+// both modes and checks the acceptance ordering on combined P99.
+func TestBenchTenantScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long DES run")
+	}
+	sc := BenchTenantScenario(42)
+	static, err := RunMulti(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc = BenchTenantScenario(42)
+	sc.Arbiter = proportionalArbiter
+	arb, err := RunMulti(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arb.Violations != 0 {
+		t.Fatalf("%d invariant violations", arb.Violations)
+	}
+	if arb.Combined.P99() >= static.Combined.P99() {
+		t.Fatalf("bench scenario: arbitration P99 %v not below static %v",
+			arb.Combined.P99(), static.Combined.P99())
+	}
+}

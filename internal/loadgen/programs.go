@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// DiurnalSchedule is the day-scale arrival program: a sinusoidal rate
+// mean + amp·sin(2π(t+phase)/period), the open-loop counterpart of
+// workload.Diurnal. Arrivals are placed by inverting the cumulative count
+//
+//	N(t) = mean·t + (amp/ω)·(cos(ω·phase) − cos(ω·(t+phase))), ω = 2π/period
+//
+// so the k-th arrival is exactly N⁻¹(k): a pure function of the parameters
+// with no accumulation drift and no randomness — deterministic and
+// shardable like Ramp. Amp must not exceed mean (the rate never goes
+// negative), which also keeps N strictly increasing and the inversion
+// single-valued.
+type DiurnalSchedule struct {
+	MeanQPS float64
+	AmpQPS  float64
+	Period  time.Duration
+	Phase   time.Duration
+}
+
+// Name implements Schedule.
+func (d DiurnalSchedule) Name() string { return "diurnal" }
+
+// Rate implements Schedule: the sinusoid's long-run average is its mean.
+func (d DiurnalSchedule) Rate() float64 { return d.MeanQPS }
+
+// cumulative is N(t): total intended arrivals in [0, t].
+func (d DiurnalSchedule) cumulative(t float64) float64 {
+	omega := 2 * math.Pi / d.Period.Seconds()
+	phase := d.Phase.Seconds()
+	return d.MeanQPS*t + d.AmpQPS/omega*(math.Cos(omega*phase)-math.Cos(omega*(t+phase)))
+}
+
+// Arrivals implements Schedule. Each offset is found by bisection on the
+// strictly increasing cumulative count, from the previous arrival forward —
+// ~60 cosine evaluations per arrival, exact to the nanosecond and
+// independent of the horizon.
+func (d DiurnalSchedule) Arrivals(horizon time.Duration) []time.Duration {
+	if d.MeanQPS <= 0 || d.AmpQPS < 0 || d.AmpQPS > d.MeanQPS || d.Period <= 0 || horizon <= 0 {
+		return nil
+	}
+	T := horizon.Seconds()
+	out := make([]time.Duration, 0, int(d.MeanQPS*T)+1)
+	lo := 0.0
+	for k := 0; ; k++ {
+		// Bracket: the rate never exceeds mean+amp, so N⁻¹(k) is at least
+		// k/(mean+amp) past the origin; expand the upper bound until it
+		// clears k.
+		hi := lo + 1/d.MeanQPS
+		for d.cumulative(hi) < float64(k) {
+			hi = lo + 2*(hi-lo)
+		}
+		for i := 0; i < 64 && hi-lo > 1e-10; i++ {
+			mid := (lo + hi) / 2
+			if d.cumulative(mid) < float64(k) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		at := time.Duration(hi * float64(time.Second))
+		if at >= horizon {
+			return out
+		}
+		out = append(out, at)
+		lo = hi
+	}
+}
+
+// FlashSchedule is the flash-crowd arrival program: a base rate with one
+// burst window [At, At+Duration) at the peak rate — the multi-tenant
+// benchmark's "one tenant suddenly hot" shape. The cumulative count is
+// piecewise linear, so the k-th arrival has a closed form per segment and
+// the schedule is exact, deterministic and drift-free.
+type FlashSchedule struct {
+	BaseQPS  float64
+	PeakQPS  float64
+	At       time.Duration
+	Duration time.Duration
+}
+
+// Name implements Schedule.
+func (f FlashSchedule) Name() string { return "flash" }
+
+// Rate implements Schedule: the long-run intended rate is the base — the
+// flash is a transient, not a change of regime.
+func (f FlashSchedule) Rate() float64 { return f.BaseQPS }
+
+// Arrivals implements Schedule: each segment contributes arrivals at exact
+// 1/rate spacing from the segment's cumulative origin, so offsets are
+// N⁻¹(k) of the piecewise-linear cumulative count.
+func (f FlashSchedule) Arrivals(horizon time.Duration) []time.Duration {
+	if f.BaseQPS < 0 || f.PeakQPS < 0 || f.BaseQPS+f.PeakQPS <= 0 ||
+		f.At < 0 || f.Duration <= 0 || horizon <= 0 {
+		return nil
+	}
+	// Segment boundaries and the cumulative count at each.
+	t1 := f.At.Seconds()
+	t2 := (f.At + f.Duration).Seconds()
+	c1 := f.BaseQPS * t1
+	c2 := c1 + f.PeakQPS*t2 - f.PeakQPS*t1
+	var out []time.Duration
+	for k := 0; ; k++ {
+		fk := float64(k)
+		var tk float64
+		switch {
+		case fk < c1:
+			tk = fk / f.BaseQPS
+		case fk < c2:
+			tk = t1 + (fk-c1)/f.PeakQPS
+		case f.BaseQPS > 0:
+			tk = t2 + (fk-c2)/f.BaseQPS
+		default:
+			return out // base 0: nothing after the flash
+		}
+		at := time.Duration(tk * float64(time.Second))
+		if at >= horizon {
+			return out
+		}
+		out = append(out, at)
+	}
+}

@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestDiurnalDeterministicAndAverageRate: two identical schedules place
+// identical offsets, full cycles average to the mean rate, and the crest
+// half-cycle is denser than the trough half-cycle.
+func TestDiurnalDeterministicAndAverageRate(t *testing.T) {
+	d := DiurnalSchedule{MeanQPS: 20, AmpQPS: 15, Period: 100 * time.Second}
+	horizon := 300 * time.Second // three full cycles
+	a := d.Arrivals(horizon)
+	b := d.Arrivals(horizon)
+	if len(a) != len(b) {
+		t.Fatalf("two computations disagree: %d vs %d arrivals", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offset %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	want := d.MeanQPS * horizon.Seconds()
+	if got := float64(len(a)); math.Abs(got-want) > 2 {
+		t.Fatalf("full cycles average %v arrivals, want ~%v", got, want)
+	}
+	// Crest (first half-cycle, rate above mean) vs trough (second half).
+	crest, trough := 0, 0
+	for _, at := range a {
+		switch phase := at % (100 * time.Second); {
+		case phase < 50*time.Second:
+			crest++
+		default:
+			trough++
+		}
+	}
+	if crest <= trough {
+		t.Fatalf("crest half-cycles (%d arrivals) not denser than trough (%d)", crest, trough)
+	}
+	// Offsets ascend strictly enough to schedule (non-decreasing).
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("offsets not sorted at %d: %v < %v", i, a[i], a[i-1])
+		}
+	}
+}
+
+// TestDiurnalRejectsOverdeepSwing: amp > mean would need a negative rate.
+func TestDiurnalRejectsOverdeepSwing(t *testing.T) {
+	d := DiurnalSchedule{MeanQPS: 10, AmpQPS: 11, Period: time.Minute}
+	if got := d.Arrivals(time.Minute); got != nil {
+		t.Fatalf("amp > mean produced %d arrivals", len(got))
+	}
+	if _, err := ParseSchedule("diurnal:10:11:60s", 0, 0); err == nil {
+		t.Fatal("ParseSchedule accepted amp > mean")
+	}
+}
+
+// TestFlashCountsAndDeterminism: the flash window carries exactly the extra
+// arrivals the closed form promises, and the program is a pure function.
+func TestFlashCountsAndDeterminism(t *testing.T) {
+	f := FlashSchedule{BaseQPS: 5, PeakQPS: 50, At: 60 * time.Second, Duration: 20 * time.Second}
+	horizon := 120 * time.Second
+	a := f.Arrivals(horizon)
+	b := f.Arrivals(horizon)
+	if len(a) != len(b) {
+		t.Fatalf("two computations disagree: %d vs %d", len(a), len(b))
+	}
+	// N(120s) = 5·60 + 50·20 + 5·40 = 1500.
+	if got, want := len(a), 1500; got != want {
+		t.Fatalf("flash schedule placed %d arrivals, want %d", got, want)
+	}
+	inFlash := 0
+	for i, at := range a {
+		if i > 0 && at < a[i-1] {
+			t.Fatalf("offsets not sorted at %d", i)
+		}
+		if at >= 60*time.Second && at < 80*time.Second {
+			inFlash++
+		}
+	}
+	if want := 50 * 20; inFlash != want {
+		t.Fatalf("flash window carried %d arrivals, want %d", inFlash, want)
+	}
+}
+
+// TestParsePrograms covers the new flag grammar.
+func TestParsePrograms(t *testing.T) {
+	if s, err := ParseSchedule("diurnal:20:15:100s", 0, 0); err != nil || s.Name() != "diurnal" || s.Rate() != 20 {
+		t.Fatalf("diurnal parse: %v %v", s, err)
+	}
+	if s, err := ParseSchedule("diurnal:20:15:100s:25s", 0, 0); err != nil || s.(DiurnalSchedule).Phase != 25*time.Second {
+		t.Fatalf("diurnal phase parse: %v %v", s, err)
+	}
+	if s, err := ParseSchedule("flash:5:50:60s:20s", 0, 0); err != nil || s.Name() != "flash" || s.Rate() != 5 {
+		t.Fatalf("flash parse: %v %v", s, err)
+	}
+	for _, bad := range []string{"diurnal", "diurnal:20:15", "flash:5:50:60s", "flash:-1:50:0s:20s", "replay:", "replay:/no/such/file"} {
+		if _, err := ParseSchedule(bad, 10, 0); err == nil {
+			t.Fatalf("ParseSchedule accepted %q", bad)
+		}
+	}
+}
+
+// TestReplayRoundTrip: record a Poisson schedule, write it, read it back
+// through ParseSchedule, and get bit-identical arrivals.
+func TestReplayRoundTrip(t *testing.T) {
+	src := Poisson{QPS: 40, Seed: 99}
+	horizon := 30 * time.Second
+	recorded := src.Arrivals(horizon)
+
+	var buf bytes.Buffer
+	if err := WriteReplay(&buf, recorded); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.replay")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseSchedule("replay:"+path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := s.Arrivals(horizon)
+	if len(replayed) != len(recorded) {
+		t.Fatalf("replay lost arrivals: %d vs %d", len(replayed), len(recorded))
+	}
+	for i := range recorded {
+		if replayed[i] != recorded[i] {
+			t.Fatalf("offset %d changed across the round-trip: %v vs %v", i, replayed[i], recorded[i])
+		}
+	}
+	// A shorter horizon replays a strict prefix.
+	if half := s.Arrivals(horizon / 2); len(half) >= len(recorded) || len(half) == 0 {
+		t.Fatalf("half-horizon replay returned %d of %d arrivals", len(half), len(recorded))
+	}
+}
+
+// TestReplayReadRejectsGarbage pins the parse errors.
+func TestReplayReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadReplay(bytes.NewBufferString("# header\n12345\nnot-a-number\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+	if _, err := ReadReplay(bytes.NewBufferString("-5\n")); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	s, err := ReadReplay(bytes.NewBufferString("# only comments\n\n"))
+	if err != nil || s.Len() != 0 {
+		t.Fatalf("empty recording: %v %v", s, err)
+	}
+}

@@ -1,0 +1,106 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ReplaySchedule drives arrivals at exactly the recorded offsets — the
+// schedule form of replaying a production trace. Offsets are virtual times
+// from the start of the run; Arrivals clips to the horizon, so a shorter
+// replay run is a prefix of the recording.
+type ReplaySchedule struct {
+	offsets []time.Duration
+}
+
+// NewReplaySchedule copies and sorts the offsets. Negative offsets are
+// rejected: a recording starts at its own origin.
+func NewReplaySchedule(offsets []time.Duration) (*ReplaySchedule, error) {
+	out := make([]time.Duration, len(offsets))
+	copy(out, offsets)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) > 0 && out[0] < 0 {
+		return nil, fmt.Errorf("loadgen: replay offset %v before the origin", out[0])
+	}
+	return &ReplaySchedule{offsets: out}, nil
+}
+
+// Name implements Schedule.
+func (r *ReplaySchedule) Name() string { return "replay" }
+
+// Rate implements Schedule: the recording's own average rate — count over
+// recorded span (zero for degenerate recordings).
+func (r *ReplaySchedule) Rate() float64 {
+	if len(r.offsets) < 2 {
+		return 0
+	}
+	span := r.offsets[len(r.offsets)-1].Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(r.offsets)) / span
+}
+
+// Len returns the number of recorded arrivals.
+func (r *ReplaySchedule) Len() int { return len(r.offsets) }
+
+// Arrivals implements Schedule.
+func (r *ReplaySchedule) Arrivals(horizon time.Duration) []time.Duration {
+	if horizon <= 0 {
+		return nil
+	}
+	n := sort.Search(len(r.offsets), func(i int) bool { return r.offsets[i] >= horizon })
+	out := make([]time.Duration, n)
+	copy(out, r.offsets[:n])
+	return out
+}
+
+// WriteReplay records a schedule's arrival offsets in the replay file
+// format: a header comment, then one integer nanosecond offset per line.
+// Integer nanoseconds round-trip exactly, so record → replay reproduces the
+// original schedule bit for bit.
+func WriteReplay(w io.Writer, offsets []time.Duration) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# powerchief replay v1: one arrival offset per line, nanoseconds"); err != nil {
+		return err
+	}
+	for _, at := range offsets {
+		if at < 0 {
+			return fmt.Errorf("loadgen: replay offset %v before the origin", at)
+		}
+		if _, err := fmt.Fprintln(bw, at.Nanoseconds()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadReplay parses the replay file format back into a schedule. Blank
+// lines and '#' comments are skipped; offsets need not be sorted.
+func ReadReplay(r io.Reader) (*ReplaySchedule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var offsets []time.Duration
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		ns, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: replay line %d: %w", line, err)
+		}
+		offsets = append(offsets, time.Duration(ns))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewReplaySchedule(offsets)
+}

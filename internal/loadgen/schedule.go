@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -146,9 +147,11 @@ func (r Ramp) Arrivals(horizon time.Duration) []time.Duration {
 	return out
 }
 
-// ParseSchedule builds a schedule from its flag name ("constant", "poisson"
-// or "ramp:<from>:<to>"), rate and seed. The ramp form carries its own QPS
-// endpoints, so the rate argument is ignored for it.
+// ParseSchedule builds a schedule from its flag name: "constant",
+// "poisson", "ramp:<from>:<to>", "diurnal:<mean>:<amp>:<period>[:<phase>]",
+// "flash:<base>:<peak>:<at>:<dur>" or "replay:<file>". Parameterized forms
+// carry their own QPS values, so the rate argument is ignored for them;
+// durations use Go syntax ("300s", "5m").
 func ParseSchedule(name string, rate float64, seed int64) (Schedule, error) {
 	if strings.HasPrefix(name, "ramp") {
 		rest, _ := strings.CutPrefix(name, "ramp")
@@ -163,6 +166,54 @@ func ParseSchedule(name string, rate float64, seed int64) (Schedule, error) {
 		}
 		return Ramp{FromQPS: from, ToQPS: to}, nil
 	}
+	if strings.HasPrefix(name, "diurnal") {
+		rest := strings.TrimPrefix(strings.TrimPrefix(name, "diurnal"), ":")
+		parts := strings.Split(rest, ":")
+		if rest == "" || len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("loadgen: diurnal arrivals need diurnal:<meanQPS>:<ampQPS>:<period>[:<phase>]")
+		}
+		mean, err1 := strconv.ParseFloat(parts[0], 64)
+		amp, err2 := strconv.ParseFloat(parts[1], 64)
+		period, err3 := time.ParseDuration(parts[2])
+		var phase time.Duration
+		var err4 error
+		if len(parts) == 4 {
+			phase, err4 = time.ParseDuration(parts[3])
+		}
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil ||
+			mean <= 0 || amp < 0 || amp > mean || period <= 0 {
+			return nil, fmt.Errorf("loadgen: bad diurnal parameters %q (want 0 ≤ amp ≤ mean, positive period)", rest)
+		}
+		return DiurnalSchedule{MeanQPS: mean, AmpQPS: amp, Period: period, Phase: phase}, nil
+	}
+	if strings.HasPrefix(name, "flash") {
+		rest := strings.TrimPrefix(strings.TrimPrefix(name, "flash"), ":")
+		parts := strings.Split(rest, ":")
+		if rest == "" || len(parts) != 4 {
+			return nil, fmt.Errorf("loadgen: flash arrivals need flash:<baseQPS>:<peakQPS>:<at>:<dur>")
+		}
+		base, err1 := strconv.ParseFloat(parts[0], 64)
+		peak, err2 := strconv.ParseFloat(parts[1], 64)
+		at, err3 := time.ParseDuration(parts[2])
+		dur, err4 := time.ParseDuration(parts[3])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil ||
+			base < 0 || peak < 0 || base+peak <= 0 || at < 0 || dur <= 0 {
+			return nil, fmt.Errorf("loadgen: bad flash parameters %q (want flash:<baseQPS>:<peakQPS>:<at>:<dur>)", rest)
+		}
+		return FlashSchedule{BaseQPS: base, PeakQPS: peak, At: at, Duration: dur}, nil
+	}
+	if strings.HasPrefix(name, "replay") {
+		path := strings.TrimPrefix(strings.TrimPrefix(name, "replay"), ":")
+		if path == "" {
+			return nil, fmt.Errorf("loadgen: replay arrivals need replay:<file>")
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: replay: %w", err)
+		}
+		defer f.Close()
+		return ReadReplay(f)
+	}
 	if rate <= 0 {
 		return nil, fmt.Errorf("loadgen: rate must be positive, got %v", rate)
 	}
@@ -172,6 +223,6 @@ func ParseSchedule(name string, rate float64, seed int64) (Schedule, error) {
 	case "poisson":
 		return Poisson{QPS: rate, Seed: seed}, nil
 	default:
-		return nil, fmt.Errorf("loadgen: unknown arrival process %q (want constant, poisson or ramp:<from>:<to>)", name)
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q (want constant, poisson, ramp:<from>:<to>, diurnal:<mean>:<amp>:<period>, flash:<base>:<peak>:<at>:<dur> or replay:<file>)", name)
 	}
 }

@@ -20,7 +20,9 @@
 //   - internal/stage    stages, service instances, dispatchers, boosting
 //   - internal/query    the extended query structure (joint design)
 //   - internal/core     the Command Center: identifier, decision engine,
-//     power reallocator, policies
+//     power reallocator, policies, budget-domain hierarchy
+//   - internal/arbiter  cross-member budget arbitration (multi-tenant and
+//     fleet re-granting share one planner)
 //   - internal/workload Poisson/trace load generation
 //   - internal/harness  scenario runner and per-figure experiment drivers
 //   - internal/live     real-time goroutine engine (same policies)
@@ -47,6 +49,7 @@ import (
 	"time"
 
 	"powerchief/internal/app"
+	"powerchief/internal/arbiter"
 	"powerchief/internal/cmp"
 	"powerchief/internal/core"
 	"powerchief/internal/harness"
@@ -82,6 +85,22 @@ type (
 	LoadLevel = workload.Level
 	// Source yields the instantaneous arrival rate over time.
 	Source = workload.Source
+
+	// BudgetDomain is one node of the hierarchical power-budget tree: the
+	// chip-level root delegates per-tenant grants to child domains, and
+	// every SetBudget preserves Σ child grants ≤ parent budget.
+	BudgetDomain = core.BudgetDomain
+
+	// Tenant is one application's slice of a multi-tenant scenario.
+	Tenant = harness.Tenant
+	// MultiScenario describes a multi-tenant arbitration run: several
+	// tenants, one chip budget, an optional cross-app arbiter.
+	MultiScenario = harness.MultiScenario
+	// MultiResult carries a multi-tenant run's per-tenant and combined
+	// metrics plus the budget-invariant audit.
+	MultiResult = harness.MultiResult
+	// TenantResult is one tenant's slice of a MultiResult.
+	TenantResult = harness.TenantResult
 )
 
 // Frequency ladder constants.
@@ -196,6 +215,30 @@ func ConstantLoad(level LoadLevel) func(refCapacityQPS float64) Source {
 		return workload.Constant(workload.RateForUtilization(capacity, level.Utilization()))
 	}
 }
+
+// NewRootDomain creates the top of a budget hierarchy owning the chip-level
+// cap.
+func NewRootDomain(name string, budget Watts) *BudgetDomain {
+	return core.NewRootDomain(name, budget)
+}
+
+// ProportionalArbiter returns the cross-app arbitration policy that grants
+// budget in proportion to each tenant's QoS slowdown (Eq. 1 metric over its
+// latency target).
+func ProportionalArbiter() func() Policy {
+	return func() Policy { return arbiter.New(arbiter.Proportional{}) }
+}
+
+// FairnessArbiter returns the FastCap-style fairness-weighted arbitration
+// policy; alpha tunes how hard sustained slowdown is penalized (2 is the
+// usual choice).
+func FairnessArbiter(alpha float64) func() Policy {
+	return func() Policy { return arbiter.New(arbiter.Fairness{Alpha: alpha}) }
+}
+
+// RunMulti executes a multi-tenant scenario: one PowerChief loop per tenant
+// inside its budget domain, with the arbiter re-granting between them.
+func RunMulti(sc MultiScenario) (*MultiResult, error) { return harness.RunMulti(sc) }
 
 // Run executes a scenario to completion on the deterministic discrete-event
 // engine and returns its metrics.
