@@ -34,9 +34,11 @@ docs-lint:
 # the distributed control plane (including the chaos tests), the fleet
 # coordinator, the budget arbiter (chaos property tests), the stage engine,
 # the telemetry subsystem (ring buffers + registry under concurrent writers),
-# the multi-tenant harness, and the distributed benchmark harness.
+# the decision engine + statistics pipeline, the decision-trace recorder and
+# replay arena, the multi-tenant harness, and the distributed benchmark
+# harness.
 race:
-	$(GO) test -race ./internal/rpc/... ./internal/dist/... ./internal/fleet/... ./internal/arbiter/... ./internal/stage/... ./internal/telemetry/... ./internal/controlplane/... ./internal/live/... ./internal/benchnet/... ./internal/harness/...
+	$(GO) test -race ./internal/rpc/... ./internal/dist/... ./internal/fleet/... ./internal/arbiter/... ./internal/stage/... ./internal/telemetry/... ./internal/core/... ./internal/stats/... ./internal/replay/... ./internal/controlplane/... ./internal/live/... ./internal/benchnet/... ./internal/harness/...
 
 # The fleet chaos smoke: a coordinator over three proxied node services,
 # kill one mid-run, assert Σ granted ≤ budget at every epoch plus reclaim
@@ -71,6 +73,28 @@ bench-cmp: bench-net
 .PHONY: bench-tenant
 bench-tenant:
 	$(GO) run ./cmd/powerbench tenant -check results/BENCH_multitenant.json
+
+# The arbitration-strategy benchmark gate: re-run the skewed-bottleneck
+# fleet scenario (Marginal vs Proportional) and compare against the
+# checked-in artifact — params must match exactly, the boostable-tail win
+# must hold within tolerance. Exits 1 on regression, 2 if incomparable.
+.PHONY: bench-arbiter
+bench-arbiter:
+	$(GO) run ./cmd/powerbench arbiter -json bench-arbiter.json
+	$(GO) run ./cmd/powerbench cmp results/BENCH_arbiter.json bench-arbiter.json
+
+# The decision-trace replay smoke: record a short DES trace under
+# PowerChief, then replay it through the offline arena against three
+# candidate policies. `powerbench replay` exits 1 unless the recording
+# policy reproduces every recorded plan byte-identically from the
+# snapshots alone — the determinism gate of DESIGN.md §5l.
+.PHONY: bench-replay
+bench-replay:
+	$(GO) run ./cmd/powerbench -target des -app sirius -rate 3 -duration 120s \
+		-warmup 10s -policy powerchief -ctl.interval 25s -seed 7 \
+		-trace.out bench-replay-trace.jsonl.gz
+	$(GO) run ./cmd/powerbench replay -trace bench-replay-trace.jsonl.gz \
+		-policy powerchief,fairness,marginal -json bench-replay.json
 
 # The full local gate: what CI runs.
 check: vet staticcheck build test race docs-lint

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"powerchief/internal/fleet"
+)
+
+// runArbiterBench implements `powerbench arbiter`: the deterministic
+// skewed-bottleneck fleet DES scenario racing arbiter weighting strategies
+// (proportional vs the breakdown-aware marginal by default) and recording
+// the per-node bottleneck-delay distributions. The artifact
+// (results/BENCH_arbiter.json in CI) is gated with `powerbench cmp`.
+// Exit codes: 0 success, 1 failure.
+func runArbiterBench(args []string) int {
+	fs := flag.NewFlagSet("powerbench arbiter", flag.ExitOnError)
+	nodes := fs.Int("nodes", 0, "fleet size (0: scenario default)")
+	duration := fs.Duration("duration", 0, "virtual run length (0: scenario default)")
+	jsonOut := fs.String("json", "", "write the JSON artifact here (\"-\" for stdout)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: powerbench arbiter [flags]")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+
+	p := fleet.DefaultArbiterBenchParams()
+	if *nodes > 0 {
+		p.Nodes = *nodes
+	}
+	if *duration > 0 {
+		p.Duration = *duration
+	}
+	res, err := fleet.RunArbiterBench(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench arbiter:", err)
+		return 1
+	}
+
+	fmt.Printf("%-14s %8s %12s %12s %12s %14s %14s %14s\n",
+		"STRATEGY", "SAMPLES", "MEAN(ms)", "P99(ms)", "MAX(ms)", "BOOST-MEAN(ms)", "BOOST-P99(ms)", "BOOST-MAX(ms)")
+	for _, r := range res.Results {
+		fmt.Printf("%-14s %8d %12.2f %12.2f %12.2f %14.2f %14.2f %14.2f\n",
+			r.Strategy, r.Samples, r.MeanMS, r.P99MS, r.MaxMS, r.BoostMeanMS, r.BoostP99MS, r.BoostMaxMS)
+	}
+	if res.P99ImprovementX > 0 {
+		fmt.Printf("%s boostable-p99 improvement over %s: %.2fx\n",
+			res.Results[len(res.Results)-1].Strategy, res.Results[0].Strategy, res.P99ImprovementX)
+	}
+
+	if *jsonOut != "" {
+		payload, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "powerbench arbiter:", err)
+			return 1
+		}
+		payload = append(payload, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(payload)
+		} else if err := os.WriteFile(*jsonOut, payload, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "powerbench arbiter:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// cmpArbiter compares two arbiter benchmark artifacts for `powerbench cmp`.
+// Different scenario parameters are not comparable (exit 2). Regressions
+// (exit 1): a strategy's p99 or worst-node delay worsening past the
+// threshold, or a strategy disappearing from the new artifact.
+func cmpArbiter(oldPath, newPath string, maxP99Pct float64) int {
+	load := func(path string) (*fleet.ArbiterBench, error) {
+		payload, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var b fleet.ArbiterBench
+		if err := json.Unmarshal(payload, &b); err != nil {
+			return nil, fmt.Errorf("%s: not an arbiter artifact: %w", path, err)
+		}
+		if b.Kind != fleet.ArbiterArtifactKind {
+			return nil, fmt.Errorf("%s: artifact kind %q, want %q", path, b.Kind, fleet.ArbiterArtifactKind)
+		}
+		return &b, nil
+	}
+	oldB, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench cmp:", err)
+		return 2
+	}
+	newB, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench cmp:", err)
+		return 2
+	}
+	oldP, _ := json.Marshal(oldB.Params)
+	newP, _ := json.Marshal(newB.Params)
+	if string(oldP) != string(newP) {
+		fmt.Fprintf(os.Stderr, "powerbench cmp: arbiter scenario parameters differ — not comparable\n  old: %s\n  new: %s\n", oldP, newP)
+		return 2
+	}
+
+	if maxP99Pct == 0 {
+		maxP99Pct = 25
+	}
+	oldBy := make(map[string]fleet.ArbiterStrategyResult, len(oldB.Results))
+	for _, r := range oldB.Results {
+		oldBy[r.Strategy] = r
+	}
+	failed := false
+	for _, n := range newB.Results {
+		o, ok := oldBy[n.Strategy]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "powerbench cmp: warning: strategy %s is new in %s\n", n.Strategy, newPath)
+			continue
+		}
+		delete(oldBy, n.Strategy)
+		if maxP99Pct > 0 && o.P99MS > 0 {
+			if pct := (n.P99MS - o.P99MS) / o.P99MS * 100; pct > maxP99Pct {
+				failed = true
+				fmt.Printf("REGRESSION [%s] p99 %.2fms -> %.2fms (+%.1f%% > %.1f%%)\n",
+					n.Strategy, o.P99MS, n.P99MS, pct, maxP99Pct)
+			}
+		}
+		if maxP99Pct > 0 && o.WorstNodeMeanMS > 0 {
+			if pct := (n.WorstNodeMeanMS - o.WorstNodeMeanMS) / o.WorstNodeMeanMS * 100; pct > maxP99Pct {
+				failed = true
+				fmt.Printf("REGRESSION [%s] worst-node mean %.2fms -> %.2fms (+%.1f%% > %.1f%%)\n",
+					n.Strategy, o.WorstNodeMeanMS, n.WorstNodeMeanMS, pct, maxP99Pct)
+			}
+		}
+	}
+	for name := range oldBy {
+		failed = true
+		fmt.Printf("REGRESSION [%s] strategy missing from %s\n", name, newPath)
+	}
+	if failed {
+		fmt.Println("FAIL")
+		return 1
+	}
+	fmt.Printf("OK: %d arbiter strategies within thresholds\n", len(newB.Results))
+	return 0
+}

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"powerchief/internal/replay"
+)
+
+// runReplay implements `powerbench replay`: the offline policy arena. It
+// loads a decision trace (recorded by a harness run or a -trace.out
+// benchmark), replays every requested policy against the recorded snapshots
+// in shadow mode, and prints a policy-vs-policy projected tail-latency
+// table. The recording policy is always replayed as the determinism gate:
+// it must reproduce its recorded plans byte-identically.
+//
+// Exit codes: 0 gate passed, 1 determinism gate failed, 2 unreadable trace
+// or unknown policy.
+func runReplay(args []string) int {
+	fs := flag.NewFlagSet("powerbench replay", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "decision trace (.jsonl or .jsonl.gz)")
+	policyList := fs.String("policy", "", "comma-separated arena policies to replay (default: the trace's recording policy)")
+	qos := fs.Duration("qos", 0, "QoS target for the pegasus/saver candidates")
+	jsonOut := fs.String("json", "", "write the comparison artifact here (\"-\" for stdout)")
+	noGate := fs.Bool("nogate", false, "skip the determinism gate (for traces whose recording policy this build cannot reproduce)")
+	list := fs.Bool("list", false, "list the registered arena policies and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: powerbench replay -trace t.jsonl.gz [-policy powerchief,fairness,marginal] [-json out.json]")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if *list {
+		fmt.Println(strings.Join(replay.PolicyNames(), "\n"))
+		return 0
+	}
+	if *tracePath == "" {
+		fs.Usage()
+		return 2
+	}
+
+	t, err := replay.ReadFile(*tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench replay:", err)
+		return 2
+	}
+
+	names := []string{t.Header.Policy}
+	if *policyList != "" {
+		names = nil
+		for _, p := range strings.Split(*policyList, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				names = append(names, p)
+			}
+		}
+	}
+	// The recording policy always replays: its score is the determinism gate.
+	gateIdx := -1
+	for i, n := range names {
+		if n == t.Header.Policy {
+			gateIdx = i
+			break
+		}
+	}
+	if gateIdx < 0 && !*noGate {
+		names = append([]string{t.Header.Policy}, names...)
+		gateIdx = 0
+	}
+
+	out, err := replay.Run(t, names, *qos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench replay:", err)
+		return 2
+	}
+
+	fmt.Printf("trace: %s seed=%d policy=%s frames=%d span=%v\n",
+		t.Header.Scenario, t.Header.Seed, t.Header.Policy, len(t.Frames), t.Duration())
+	fmt.Printf("%-22s %7s %7s %9s %5s %14s %14s %14s\n",
+		"POLICY", "FRAMES", "BOOSTS", "MATCH", "DET", "MEAN-PROJ(ms)", "P99-PROJ(ms)", "MAX-PROJ(ms)")
+	for _, s := range out.Policies {
+		det := "-"
+		if s.Policy == t.Header.Policy {
+			det = "no"
+			if s.Deterministic {
+				det = "yes"
+			}
+		}
+		fmt.Printf("%-22s %7d %7d %5d/%-3d %5s %14.2f %14.2f %14.2f\n",
+			s.Policy, s.Frames, s.Boosts, s.PlanMatches, s.Frames, det,
+			s.MeanProjectedMS, s.P99ProjectedMS, s.MaxProjectedMS)
+	}
+
+	if *jsonOut != "" {
+		payload, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "powerbench replay:", err)
+			return 2
+		}
+		payload = append(payload, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(payload)
+		} else if err := os.WriteFile(*jsonOut, payload, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "powerbench replay:", err)
+			return 2
+		}
+	}
+
+	if !*noGate && gateIdx >= 0 {
+		gate := out.Policies[gateIdx]
+		if !gate.Deterministic {
+			fmt.Printf("FAIL: determinism gate: %s reproduced %d/%d recorded plans\n",
+				gate.Policy, gate.PlanMatches, gate.Frames)
+			return 1
+		}
+		fmt.Printf("OK: determinism gate: %s reproduced all %d recorded plans byte-identically\n",
+			gate.Policy, gate.Frames)
+	}
+	return 0
+}
+
+// artifactKind probes a JSON artifact for its "kind" tag, so powerbench cmp
+// can dispatch replay/arbiter artifacts away from the benchmark-summary
+// comparison. Empty means an untagged (summary) artifact or unreadable file
+// — the summary path reports those errors itself.
+func artifactKind(path string) string {
+	payload, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(payload, &probe); err != nil {
+		return ""
+	}
+	return probe.Kind
+}
+
+// cmpReplay compares two replay comparison artifacts for `powerbench cmp`.
+// Trace-provenance drift (schema version, seed, scenario, recording policy,
+// build revision) warns instead of exiting 2: replaying yesterday's trace
+// against today's build is the point of the arena, it just has to be
+// visible. Regressions (exit 1): a policy losing determinism, disappearing
+// from the new artifact, or its projected p99 worsening past the threshold.
+func cmpReplay(oldPath, newPath string, maxP99Pct float64) int {
+	load := func(path string) (*replay.Comparison, error) {
+		payload, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var c replay.Comparison
+		if err := json.Unmarshal(payload, &c); err != nil {
+			return nil, fmt.Errorf("%s: not a replay artifact: %w", path, err)
+		}
+		if c.Kind != replay.ArtifactKind {
+			return nil, fmt.Errorf("%s: artifact kind %q, want %q", path, c.Kind, replay.ArtifactKind)
+		}
+		return &c, nil
+	}
+	oldC, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench cmp:", err)
+		return 2
+	}
+	newC, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench cmp:", err)
+		return 2
+	}
+
+	warn := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "powerbench cmp: warning: "+format+"\n", args...)
+	}
+	if oldC.Trace.Version != newC.Trace.Version {
+		warn("trace schema drift: v%d vs v%d", oldC.Trace.Version, newC.Trace.Version)
+	}
+	if oldC.Trace.Seed != newC.Trace.Seed {
+		warn("trace seed drift: %d vs %d", oldC.Trace.Seed, newC.Trace.Seed)
+	}
+	if oldC.Trace.Scenario != newC.Trace.Scenario {
+		warn("trace scenario drift: %q vs %q", oldC.Trace.Scenario, newC.Trace.Scenario)
+	}
+	if oldC.Trace.Policy != newC.Trace.Policy {
+		warn("recording policy drift: %q vs %q", oldC.Trace.Policy, newC.Trace.Policy)
+	}
+	if o, n := oldC.Trace.Provenance, newC.Trace.Provenance; o.GitRevision != n.GitRevision {
+		warn("build revision drift: %s vs %s", o.GitRevision, n.GitRevision)
+	}
+	if oldC.Frames != newC.Frames {
+		warn("frame count drift: %d vs %d", oldC.Frames, newC.Frames)
+	}
+
+	if maxP99Pct == 0 {
+		maxP99Pct = 25
+	}
+	oldBy := make(map[string]replay.PolicyScore, len(oldC.Policies))
+	for _, s := range oldC.Policies {
+		oldBy[s.Policy] = s
+	}
+	failed := false
+	seen := make(map[string]bool, len(newC.Policies))
+	for _, n := range newC.Policies {
+		seen[n.Policy] = true
+		o, ok := oldBy[n.Policy]
+		if !ok {
+			warn("policy %s is new in %s", n.Policy, newPath)
+			continue
+		}
+		if o.Deterministic && !n.Deterministic {
+			failed = true
+			fmt.Printf("REGRESSION [%s] determinism lost: %d/%d plans reproduced\n",
+				n.Policy, n.PlanMatches, n.Frames)
+		}
+		if maxP99Pct > 0 && o.P99ProjectedMS > 0 {
+			pct := (n.P99ProjectedMS - o.P99ProjectedMS) / o.P99ProjectedMS * 100
+			if pct > maxP99Pct {
+				failed = true
+				fmt.Printf("REGRESSION [%s] projected p99 %.2fms -> %.2fms (+%.1f%% > %.1f%%)\n",
+					n.Policy, o.P99ProjectedMS, n.P99ProjectedMS, pct, maxP99Pct)
+			}
+		}
+	}
+	for _, o := range oldC.Policies {
+		if !seen[o.Policy] {
+			failed = true
+			fmt.Printf("REGRESSION [%s] policy missing from %s\n", o.Policy, newPath)
+		}
+	}
+	if failed {
+		fmt.Println("FAIL")
+		return 1
+	}
+	fmt.Printf("OK: %d replay policies within thresholds\n", len(newC.Policies))
+	return 0
+}

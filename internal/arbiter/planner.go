@@ -50,7 +50,7 @@ func (p *Planner) SetAudit(a *telemetry.AuditLog) { p.audit = a }
 
 // Plan implements core.Planner. sys must be a View; anything else yields an
 // empty plan.
-func (p *Planner) Plan(sys core.System, _ *core.Aggregator) (*core.ActionPlan, core.BoostOutcome) {
+func (p *Planner) Plan(sys core.System, _ core.StatsReader) (*core.ActionPlan, core.BoostOutcome) {
 	none := core.BoostOutcome{Kind: core.BoostNone}
 	v, ok := sys.(View)
 	if !ok {

@@ -54,6 +54,10 @@ type Options struct {
 	// Audit, when set, is attached to the policy (if it accepts one) so the
 	// decision trail lands in the telemetry log.
 	Audit *telemetry.AuditLog
+	// Tap, when set, is attached to the policy (if it accepts one, i.e. it
+	// implements core.TapSetter) so every adjust interval's decision —
+	// snapshot, plan, outcome — is recorded for offline replay.
+	Tap core.DecisionTap
 	// OnOutcome observes every successful adjust (after recording).
 	OnOutcome func(core.BoostOutcome)
 	// OnError observes every failed adjust (degraded or not).
@@ -103,6 +107,11 @@ func Start(clock Clock, adj Adjuster, opts Options) (*Loop, error) {
 	if opts.Audit != nil {
 		if as, ok := opts.Policy.(core.AuditSetter); ok {
 			as.SetAudit(opts.Audit)
+		}
+	}
+	if opts.Tap != nil {
+		if ts, ok := opts.Policy.(core.TapSetter); ok {
+			ts.SetTap(opts.Tap)
 		}
 	}
 	l := &Loop{

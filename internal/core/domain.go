@@ -37,6 +37,9 @@ type BudgetDomain struct {
 	budget   cmp.Watts
 	children []*BudgetDomain
 	actuate  func(cmp.Watts) error
+	// detached marks an evicted domain: its grant has been returned to the
+	// parent and every further mutation through it is rejected.
+	detached bool
 }
 
 // NewRootDomain creates the hierarchy root holding the hard cap.
@@ -63,6 +66,9 @@ func (d *BudgetDomain) NewChild(name string, grant cmp.Watts, actuate func(cmp.W
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.detached {
+		return nil, fmt.Errorf("core: domain %s is evicted", d.name)
+	}
 	for _, c := range d.children {
 		if c.name == name {
 			return nil, fmt.Errorf("core: domain %s already has a child %q", d.name, name)
@@ -133,6 +139,36 @@ func (d *BudgetDomain) Child(name string) *BudgetDomain {
 	return nil
 }
 
+// Evict removes the named child from the domain and returns the watts its
+// grant frees back into the parent's headroom. Eviction is a pure ledger
+// operation: the caller is responsible for physically quiescing whatever
+// the child's actuator was driving (the multi-tenant harness sheds the
+// tenant's chip partition to its minimum draw first). A child that has
+// itself granted budget downward must reclaim before it can be evicted —
+// the same "recycle before you shrink" rule SetBudget enforces. The
+// evicted domain is detached: every later mutation through it fails, and
+// its name is free for a fresh NewChild re-admission.
+func (d *BudgetDomain) Evict(name string) (cmp.Watts, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, c := range d.children {
+		if c.name != name {
+			continue
+		}
+		if len(c.children) > 0 {
+			return 0, fmt.Errorf("core: domain %s: child %q still grants to %d children",
+				d.name, name, len(c.children))
+		}
+		d.children = append(d.children[:i], d.children[i+1:]...)
+		freed := c.budget
+		c.parent = nil
+		c.budget = 0
+		c.detached = true
+		return freed, nil
+	}
+	return 0, fmt.Errorf("core: domain %s has no child %q", d.name, name)
+}
+
 // SetBudget implements NodeControl: re-grant this domain's budget. Raising a
 // child is validated against the parent's budget (Σ siblings + new ≤ parent
 // cap); lowering any domain below what it has itself granted downward is
@@ -146,6 +182,9 @@ func (d *BudgetDomain) SetBudget(w cmp.Watts) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.detached {
+		return fmt.Errorf("core: domain %s is evicted", d.name)
+	}
 	if granted := d.grantedLocked(); w < granted-1e-9 {
 		return fmt.Errorf("%w: domain %s: new budget %.2fW below %.2fW granted to children",
 			cmp.ErrBudgetExceeded, d.name, float64(w), float64(granted))

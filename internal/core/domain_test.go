@@ -306,3 +306,70 @@ func TestDomainViewOverridesBudget(t *testing.T) {
 		t.Fatalf("after re-grant: budget=%v headroom=%v", v.Budget(), v.Headroom())
 	}
 }
+
+func TestBudgetDomainEvict(t *testing.T) {
+	root := NewRootDomain("chip", 100)
+	a, _ := root.NewChild("a", 60, nil)
+	root.NewChild("b", 40, nil)
+
+	freed, err := root.Evict("a")
+	if err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if freed != 60 {
+		t.Fatalf("Evict freed %v, want the 60W grant", freed)
+	}
+	if root.Granted() != 40 || root.Headroom() != 60 {
+		t.Fatalf("after evict: granted=%v headroom=%v", root.Granted(), root.Headroom())
+	}
+	if root.Child("a") != nil {
+		t.Fatal("evicted child still listed")
+	}
+	if err := root.CheckInvariant(); err != nil {
+		t.Fatalf("CheckInvariant: %v", err)
+	}
+	// The detached domain rejects every further mutation.
+	if err := a.SetBudget(10); err == nil {
+		t.Fatal("SetBudget on an evicted domain accepted")
+	}
+	if _, err := a.NewChild("sub", 1, nil); err == nil {
+		t.Fatal("NewChild on an evicted domain accepted")
+	}
+	if a.Budget() != 0 {
+		t.Fatalf("evicted domain still holds %vW", a.Budget())
+	}
+	// The freed name and watts are available for re-admission.
+	a2, err := root.NewChild("a", 55, nil)
+	if err != nil {
+		t.Fatalf("re-admission: %v", err)
+	}
+	if a2 == a {
+		t.Fatal("re-admission returned the detached domain")
+	}
+	if root.Granted() != 95 {
+		t.Fatalf("after re-admission: granted=%v", root.Granted())
+	}
+}
+
+func TestBudgetDomainEvictRejections(t *testing.T) {
+	root := NewRootDomain("chip", 100)
+	app, _ := root.NewChild("app", 60, nil)
+	app.NewChild("stage", 20, nil)
+
+	if _, err := root.Evict("nope"); err == nil {
+		t.Fatal("evicting an unknown child accepted")
+	}
+	// A child that still grants downward must reclaim first.
+	if _, err := root.Evict("app"); err == nil {
+		t.Fatal("evicting a domain with children accepted")
+	}
+	if _, err := app.Evict("stage"); err != nil {
+		t.Fatalf("evicting the leaf: %v", err)
+	}
+	if _, err := root.Evict("app"); err != nil {
+		t.Fatalf("evicting the emptied domain: %v", err)
+	}
+	if root.Granted() != 0 || root.Headroom() != 100 {
+		t.Fatalf("after full teardown: granted=%v headroom=%v", root.Granted(), root.Headroom())
+	}
+}

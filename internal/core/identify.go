@@ -61,11 +61,11 @@ type Identifier struct {
 // descending by metric; ties break by stage order then instance name so the
 // ranking is deterministic. Draining instances are excluded — they are
 // already leaving.
-func (id Identifier) Rank(sys System, agg *Aggregator) []Ranked {
+func (id Identifier) Rank(sys System, stats StatsReader) []Ranked {
 	var out []Ranked
 	for _, st := range sys.Stages() {
 		for _, in := range st.Instances() {
-			q, s, _ := agg.InstStats(in.Name())
+			q, s, _ := stats.InstStats(in.Name())
 			out = append(out, Ranked{
 				Instance: in,
 				Stage:    st,
@@ -103,8 +103,8 @@ func (id Identifier) eval(in Instance, q, s time.Duration) time.Duration {
 
 // Bottleneck returns the instance with the largest metric, or a zero Ranked
 // with ok=false when the system has no instances.
-func (id Identifier) Bottleneck(sys System, agg *Aggregator) (Ranked, bool) {
-	ranked := id.Rank(sys, agg)
+func (id Identifier) Bottleneck(sys System, stats StatsReader) (Ranked, bool) {
+	ranked := id.Rank(sys, stats)
 	if len(ranked) == 0 {
 		return Ranked{}, false
 	}

@@ -72,7 +72,7 @@ type Policy interface {
 // call at an epoch boundary captures the boost decision alone.
 type Planner interface {
 	Policy
-	Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome)
+	Plan(sys System, stats StatsReader) (*ActionPlan, BoostOutcome)
 }
 
 // applyPlan actuates a decision and folds the apply result back into the
@@ -97,7 +97,7 @@ type Static struct{}
 func (Static) Name() string { return "baseline" }
 
 // Plan implements Planner.
-func (Static) Plan(System, *Aggregator) (*ActionPlan, BoostOutcome) {
+func (Static) Plan(System, StatsReader) (*ActionPlan, BoostOutcome) {
 	return &ActionPlan{}, BoostOutcome{Kind: BoostNone}
 }
 
@@ -110,6 +110,7 @@ type FreqBoost struct {
 	Cfg    Config
 	engine Engine
 	audit  *telemetry.AuditLog
+	tapHolder
 }
 
 // NewFreqBoost builds the policy with the given configuration.
@@ -125,9 +126,9 @@ func (f *FreqBoost) SetAudit(a *telemetry.AuditLog) {
 }
 
 // Plan implements Planner.
-func (f *FreqBoost) Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome) {
+func (f *FreqBoost) Plan(sys System, stats StatsReader) (*ActionPlan, BoostOutcome) {
 	pv := NewPlanView(sys)
-	ranked := Identifier{Metric: f.Cfg.Metric}.Rank(pv, agg)
+	ranked := Identifier{Metric: f.Cfg.Metric}.Rank(pv, stats)
 	auditIdentify(f.audit, pv.Now(), ranked)
 	if len(ranked) == 0 || Spread(ranked) < f.Cfg.BalanceThreshold {
 		return pv.Take(), BoostOutcome{Kind: BoostNone}
@@ -139,8 +140,11 @@ func (f *FreqBoost) Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome
 
 // Adjust implements Policy.
 func (f *FreqBoost) Adjust(sys System, agg *Aggregator) BoostOutcome {
+	snap := f.capture(sys, agg)
 	plan, out := f.Plan(sys, agg)
-	return applyPlan(Executor{Audit: f.audit}, sys, agg, plan, out)
+	out = applyPlan(Executor{Audit: f.audit}, sys, agg, plan, out)
+	f.record(snap, plan, out)
+	return out
 }
 
 // InstBoost is the pure instance-boosting policy: every interval it tries to
@@ -149,6 +153,7 @@ type InstBoost struct {
 	Cfg    Config
 	engine Engine
 	audit  *telemetry.AuditLog
+	tapHolder
 }
 
 // NewInstBoost builds the policy with the given configuration.
@@ -164,9 +169,9 @@ func (i *InstBoost) SetAudit(a *telemetry.AuditLog) {
 }
 
 // Plan implements Planner.
-func (i *InstBoost) Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome) {
+func (i *InstBoost) Plan(sys System, stats StatsReader) (*ActionPlan, BoostOutcome) {
 	pv := NewPlanView(sys)
-	ranked := Identifier{Metric: i.Cfg.Metric}.Rank(pv, agg)
+	ranked := Identifier{Metric: i.Cfg.Metric}.Rank(pv, stats)
 	auditIdentify(i.audit, pv.Now(), ranked)
 	if len(ranked) == 0 || Spread(ranked) < i.Cfg.BalanceThreshold {
 		return pv.Take(), BoostOutcome{Kind: BoostNone}
@@ -178,8 +183,11 @@ func (i *InstBoost) Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome
 
 // Adjust implements Policy.
 func (i *InstBoost) Adjust(sys System, agg *Aggregator) BoostOutcome {
+	snap := i.capture(sys, agg)
 	plan, out := i.Plan(sys, agg)
-	return applyPlan(Executor{Audit: i.audit}, sys, agg, plan, out)
+	out = applyPlan(Executor{Audit: i.audit}, sys, agg, plan, out)
+	i.record(snap, plan, out)
+	return out
 }
 
 // PowerChief is the full adaptive policy: accurate bottleneck
@@ -191,6 +199,7 @@ type PowerChief struct {
 	audit        *telemetry.AuditLog
 	lastWithdraw time.Duration
 	withdrawInit bool
+	tapHolder
 
 	// Withdrawn counts instances withdrawn over the run.
 	Withdrawn int
@@ -215,9 +224,9 @@ func (p *PowerChief) SetAudit(a *telemetry.AuditLog) {
 // epoch is actuation-coupled — withdraws redistribute queues, and the boost
 // decision must see the post-withdraw system — so it runs as its own plan
 // inside Adjust, not here.
-func (p *PowerChief) Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome) {
+func (p *PowerChief) Plan(sys System, stats StatsReader) (*ActionPlan, BoostOutcome) {
 	pv := NewPlanView(sys)
-	ranked := Identifier{Metric: p.Cfg.Metric}.Rank(pv, agg)
+	ranked := Identifier{Metric: p.Cfg.Metric}.Rank(pv, stats)
 	auditIdentify(p.audit, pv.Now(), ranked)
 	if len(ranked) == 0 || Spread(ranked) < p.Cfg.BalanceThreshold {
 		return pv.Take(), BoostOutcome{Kind: BoostNone}
@@ -246,6 +255,11 @@ func (p *PowerChief) Adjust(sys System, agg *Aggregator) BoostOutcome {
 		p.lastWithdraw = now
 	}
 
+	// Snapshot after the withdraw epoch: withdraws redistribute queues, and
+	// the recorded decision inputs must be what Plan actually saw.
+	snap := p.capture(sys, agg)
 	plan, out := p.Plan(sys, agg)
-	return applyPlan(x, sys, agg, plan, out)
+	out = applyPlan(x, sys, agg, plan, out)
+	p.record(snap, plan, out)
+	return out
 }

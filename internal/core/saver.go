@@ -28,6 +28,7 @@ type Pegasus struct {
 	HoldIntervals int
 
 	holding int
+	tapHolder
 }
 
 // NewPegasus builds the policy for the given latency target.
@@ -42,9 +43,9 @@ func NewPegasus(qos time.Duration) *Pegasus {
 func (*Pegasus) Name() string { return "pegasus" }
 
 // Plan implements Planner.
-func (p *Pegasus) Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome) {
+func (p *Pegasus) Plan(sys System, stats StatsReader) (*ActionPlan, BoostOutcome) {
 	pv := NewPlanView(sys)
-	lat, ok := agg.WindowLatency()
+	lat, ok := stats.WindowLatency()
 	if !ok {
 		return pv.Take(), BoostOutcome{Kind: BoostNone}
 	}
@@ -97,8 +98,11 @@ func (p *Pegasus) Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome) 
 
 // Adjust implements Policy.
 func (p *Pegasus) Adjust(sys System, agg *Aggregator) BoostOutcome {
+	snap := p.capture(sys, agg)
 	plan, out := p.Plan(sys, agg)
-	return applyPlan(Executor{}, sys, agg, plan, out)
+	out = applyPlan(Executor{}, sys, agg, plan, out)
+	p.record(snap, plan, out)
+	return out
 }
 
 // PowerChiefSaver is PowerChief's power-conservation mode: the opposite of
@@ -125,6 +129,7 @@ type PowerChiefSaver struct {
 	cooldown int // intervals left before withdraws may resume
 	engine   Engine
 	audit    *telemetry.AuditLog
+	tapHolder
 }
 
 // NewPowerChiefSaver builds the policy for the given latency target.
@@ -148,14 +153,14 @@ func (s *PowerChiefSaver) SetAudit(a *telemetry.AuditLog) {
 // PlanView. State the decision itself depends on (cooldown, hold bands) is
 // advanced here; the withdraw/relaunch counters advance in Adjust once the
 // plan actually applied.
-func (s *PowerChiefSaver) Plan(sys System, agg *Aggregator) (*ActionPlan, BoostOutcome) {
+func (s *PowerChiefSaver) Plan(sys System, stats StatsReader) (*ActionPlan, BoostOutcome) {
 	pv := NewPlanView(sys)
-	lat, ok := agg.WindowLatency()
+	lat, ok := stats.WindowLatency()
 	if !ok {
 		return pv.Take(), BoostOutcome{Kind: BoostNone}
 	}
 	id := Identifier{Metric: s.Cfg.Metric}
-	ranked := id.Rank(pv, agg)
+	ranked := id.Rank(pv, stats)
 	if len(ranked) == 0 {
 		return pv.Take(), BoostOutcome{Kind: BoostNone}
 	}
@@ -272,10 +277,13 @@ func (s *PowerChiefSaver) Plan(sys System, agg *Aggregator) (*ActionPlan, BoostO
 
 // Adjust implements Policy.
 func (s *PowerChiefSaver) Adjust(sys System, agg *Aggregator) BoostOutcome {
+	snap := s.capture(sys, agg)
 	plan, out := s.Plan(sys, agg)
 	res := Executor{Audit: s.audit}.Apply(sys, agg, plan)
 	if res.Err != nil {
-		return BoostOutcome{Kind: BoostNone, Target: out.Target}
+		out = BoostOutcome{Kind: BoostNone, Target: out.Target}
+		s.record(snap, plan, out)
+		return out
 	}
 	s.Withdrawn += res.Withdrawn
 	if len(res.Clones) > 0 {
@@ -284,6 +292,7 @@ func (s *PowerChiefSaver) Adjust(sys System, agg *Aggregator) BoostOutcome {
 			out.NewInstance = res.Clones[len(res.Clones)-1]
 		}
 	}
+	s.record(snap, plan, out)
 	return out
 }
 

@@ -1,0 +1,27 @@
+package core
+
+import "fmt"
+
+// ErrNotShadow is returned when a ShadowExecutor is handed anything but a
+// SnapshotView — the type-level guarantee that shadow actuation can never
+// reach a live actuator.
+var ErrNotShadow = fmt.Errorf("core: shadow executor refuses non-snapshot systems")
+
+// ShadowExecutor actuates plans against a SnapshotView only: the same
+// validation, ordering, rollback and clone-resolution semantics as the real
+// Executor, but every mutation lands on the in-memory shadow instances of
+// the snapshot. Replay uses it to project a candidate policy's plan forward
+// (post-plan levels, queues, draw) without touching hardware; handing it any
+// other System fails with ErrNotShadow before a single action applies.
+type ShadowExecutor struct {
+	x Executor
+}
+
+// Apply applies the plan to the shadow deployment. sys must be the
+// *SnapshotView the plan was decided against.
+func (s ShadowExecutor) Apply(sys System, plan *ActionPlan) ApplyResult {
+	if _, ok := sys.(*SnapshotView); !ok {
+		return ApplyResult{Err: ErrNotShadow}
+	}
+	return s.x.Apply(sys, nil, plan)
+}

@@ -1,0 +1,20 @@
+package core
+
+import "time"
+
+// StatsReader is the statistics surface a decision reads: everything a
+// Planner may consult beyond the System topology itself. *Aggregator is the
+// live implementation; *SnapshotView serves a recorded capture back during
+// replay. Planners must read statistics only through this interface — that
+// is the purity contract that makes one recorded Snapshot replayable against
+// any policy (DESIGN.md §5l).
+type StatsReader interface {
+	// InstStats returns the moving-window mean queuing and serving time of
+	// the named instance; ok is false when the instance was never observed.
+	InstStats(name string) (queuing, serving time.Duration, ok bool)
+	// WindowLatency returns the windowed mean end-to-end latency.
+	WindowLatency() (time.Duration, bool)
+	// WindowTail returns the windowed end-to-end latency percentile
+	// (p in (0,1], e.g. 0.99).
+	WindowTail(p float64) (time.Duration, bool)
+}

@@ -44,12 +44,12 @@ func (r *Rebalance) SetAudit(a *telemetry.AuditLog) {
 // Plan implements core.Planner. sys must be an arbiter.View (the
 // Coordinator) or a ClusterView (adapted on the fly); anything else yields
 // an empty plan.
-func (r *Rebalance) Plan(sys core.System, agg *core.Aggregator) (*core.ActionPlan, core.BoostOutcome) {
+func (r *Rebalance) Plan(sys core.System, stats core.StatsReader) (*core.ActionPlan, core.BoostOutcome) {
 	if _, ok := sys.(arbiter.View); ok {
-		return r.inner.Plan(sys, agg)
+		return r.inner.Plan(sys, stats)
 	}
 	if cv, ok := sys.(ClusterView); ok {
-		return r.inner.Plan(clusterLens{cv}, agg)
+		return r.inner.Plan(clusterLens{cv}, stats)
 	}
 	return &core.ActionPlan{}, core.BoostOutcome{Kind: core.BoostNone}
 }

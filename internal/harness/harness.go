@@ -10,6 +10,7 @@ import (
 	"powerchief/internal/controlplane"
 	"powerchief/internal/core"
 	"powerchief/internal/query"
+	"powerchief/internal/replay"
 	"powerchief/internal/sim"
 	"powerchief/internal/stage"
 	"powerchief/internal/stats"
@@ -80,6 +81,16 @@ type Scenario struct {
 	// Dispatcher optionally replaces the default join-shortest-queue
 	// dispatch policy on every stage (one fresh dispatcher per stage).
 	Dispatcher func() stage.Dispatcher
+
+	// DisableDecisionTrace turns off the default decision recording. Runs
+	// whose policy exposes its decision path (core.TapSetter) record one
+	// replay frame — snapshot, plan, outcome — per adjust interval into
+	// Result.Decisions; the recording is bounded (DecisionFrames) and adds
+	// one snapshot capture per tick.
+	DisableDecisionTrace bool
+	// DecisionFrames bounds the recorded decision trace. Zero means
+	// replay.DefaultFrameLimit.
+	DecisionFrames int
 }
 
 // Result carries the collected metrics of one run.
@@ -108,6 +119,12 @@ type Result struct {
 	Boosts map[core.BoostKind]int
 	// Withdrawn counts instances withdrawn during the run.
 	Withdrawn int
+
+	// Decisions is the recorded decision trace (nil when the policy has no
+	// plan-level decision path or recording was disabled). Write it with
+	// Decisions.WriteFile and replay it with internal/replay or
+	// `powerbench replay`.
+	Decisions *replay.Recorder
 }
 
 // defaults fills in unset scenario fields.
@@ -206,6 +223,21 @@ func Run(sc Scenario) (*Result, error) {
 		Boosts:    make(map[core.BoostKind]int),
 	}
 
+	// Decision recording: on by default for policies that expose their
+	// decision path. The tap snapshots inputs the policy reads anyway, so
+	// the run's decisions stay byte-identical with recording on or off.
+	var recorder *replay.Recorder
+	if !sc.DisableDecisionTrace {
+		if _, ok := policy.(core.TapSetter); ok {
+			recorder = replay.NewRecorder(replay.Header{
+				Scenario: sc.Name,
+				Seed:     sc.Seed,
+				Policy:   policy.Name(),
+			}, sc.DecisionFrames)
+			res.Decisions = recorder
+		}
+	}
+
 	sys.OnComplete(func(q *query.Query) {
 		agg.Ingest(q)
 		res.Latency.Observe(q.Latency())
@@ -233,7 +265,7 @@ func Run(sc Scenario) (*Result, error) {
 	// part of the determinism contract the golden figures pin.
 	var powerIntegral float64 // watt-seconds over the horizon
 	lastSample := time.Duration(0)
-	ctl, err := controlplane.Start(controlplane.SimClock(eng), controlplane.NewAdjuster(view, agg), controlplane.Options{
+	opts := controlplane.Options{
 		Policy:         policy,
 		Interval:       sc.AdjustInterval,
 		SampleInterval: sc.SampleEvery,
@@ -253,7 +285,11 @@ func Run(sc Scenario) (*Result, error) {
 				}
 			}
 		},
-	})
+	}
+	if recorder != nil {
+		opts.Tap = recorder
+	}
+	ctl, err := controlplane.Start(controlplane.SimClock(eng), controlplane.NewAdjuster(view, agg), opts)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %q control plane: %w", sc.Name, err)
 	}

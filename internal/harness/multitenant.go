@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"powerchief/internal/app"
@@ -90,12 +91,43 @@ type MultiScenario struct {
 	// SampleEvery controls trace sampling (default: the arbiter interval).
 	SampleEvery time.Duration
 
+	// Churn scripts tenant membership changes at virtual times: an evict
+	// stops the tenant's arrivals and control loop, sheds its chip partition
+	// to the minimum draw and returns its grant to the root's headroom; an
+	// admit re-creates the domain with a grant of at least Floor (reclaiming
+	// watts from the richest tenants if the arbiter has granted the headroom
+	// away) and restarts the loop and the arrivals. Events fire in
+	// virtual-time order; each must name a scenario tenant.
+	Churn []ChurnEvent
+
 	// Audit, when set, receives the arbiter's re-grant decisions and every
 	// tenant policy's boost decisions (via core.AuditSetter).
 	Audit *telemetry.AuditLog
 	// Metrics, when set, gets per-tenant grant/draw/metric gauges and the
 	// root domain's budget/granted gauges registered on it.
 	Metrics *telemetry.Registry
+}
+
+// ChurnEvent is one scripted tenant membership change.
+type ChurnEvent struct {
+	// At is the virtual time the event fires; must fall inside the
+	// generation horizon.
+	At time.Duration
+	// Tenant names the affected scenario tenant.
+	Tenant string
+	// Admit re-admits a previously evicted tenant; false evicts a running
+	// one.
+	Admit bool
+}
+
+// ChurnRecord is one applied churn event: the watts an eviction freed back
+// to the root, or the grant a re-admission received (never below the
+// scenario floor — the floor re-admission guarantee).
+type ChurnRecord struct {
+	At     time.Duration
+	Tenant string
+	Admit  bool
+	Watts  cmp.Watts
 }
 
 // TenantResult carries one tenant's collected metrics.
@@ -127,6 +159,10 @@ type MultiResult struct {
 	Arbiter string
 	Budget  cmp.Watts
 
+	// Floor is the effective minimum per-tenant grant (the scenario's, or
+	// the derived all-cores-at-minimum draw) — the churn re-admission bound.
+	Floor cmp.Watts
+
 	Tenants []TenantResult
 	// Combined pools every tenant's completed-query latencies — the
 	// combined p99 the arbitration-vs-static comparison is scored on.
@@ -139,6 +175,9 @@ type MultiResult struct {
 	Violations int
 	// MaxGranted is the largest Σ child grants observed after any epoch.
 	MaxGranted cmp.Watts
+
+	// Churn records the applied membership changes in firing order.
+	Churn []ChurnRecord
 
 	// Trace holds sampled series: "grant:<tenant>", "power:<tenant>",
 	// "metric:<tenant>" (seconds), and "granted" (Σ child grants).
@@ -155,11 +194,27 @@ type tenantRun struct {
 	domain  *core.BudgetDomain
 	policy  core.Policy
 	loop    *controlplane.Loop
+	gen     *workload.Generator
 	latency *stats.Summary
+
+	// evicted marks a tenant currently outside the hierarchy; boostTally
+	// accumulates the boosts of loops stopped by evictions.
+	evicted    bool
+	boostTally map[core.BoostKind]int
 
 	initialGrant  cmp.Watts
 	powerIntegral float64 // watt-seconds
 	grantIntegral float64 // watt-seconds
+}
+
+// minDraw is the tenant partition's all-instances-at-minimum draw — the
+// power an evicted tenant keeps holding outside the ledger while parked.
+func (r *tenantRun) minDraw(model cmp.PowerModel) cmp.Watts {
+	var w cmp.Watts
+	for _, st := range r.sys.Stages() {
+		w += cmp.Watts(len(st.Active())) * model.MinPower()
+	}
+	return w
 }
 
 // appMetric is the tenant's end-to-end Equation 1 expected delay: for each
@@ -218,6 +273,112 @@ func shedToGrant(sys *stage.System, chip *cmp.Chip, w cmp.Watts) error {
 	return chip.SetBudget(w)
 }
 
+// evictTenant removes a tenant from the hierarchy mid-run: arrivals pause,
+// the control loop stops (its boost tally is preserved), the chip partition
+// is shed to its minimum draw — the power a parked partition keeps holding
+// outside the ledger — and the domain's grant returns to the root's
+// headroom. Returns the freed watts.
+func evictTenant(r *tenantRun, root *core.BudgetDomain, model cmp.PowerModel) (cmp.Watts, error) {
+	if r.evicted {
+		return 0, fmt.Errorf("tenant %q is already evicted", r.spec.Name)
+	}
+	r.gen.Pause()
+	r.loop.Stop()
+	if err := shedToGrant(r.sys, r.chip, r.minDraw(model)); err != nil {
+		return 0, fmt.Errorf("parking tenant %q: %w", r.spec.Name, err)
+	}
+	freed, err := root.Evict(r.spec.Name)
+	if err != nil {
+		return 0, fmt.Errorf("evicting tenant %q: %w", r.spec.Name, err)
+	}
+	r.evicted = true
+	return freed, nil
+}
+
+// admitTenant re-admits an evicted tenant: a fresh child domain with a
+// grant of at least the scenario floor (or the parked partition's draw, if
+// instance boosts grew it past the floor), reclaimed from the richest
+// running tenants when the arbiter has granted the headroom away, and a
+// fresh control loop on the shared group. The caller resumes arrivals.
+func admitTenant(r *tenantRun, root *core.BudgetDomain, group *controlplane.Group,
+	model cmp.PowerModel, floor cmp.Watts, audit *telemetry.AuditLog) (cmp.Watts, error) {
+	if !r.evicted {
+		return 0, fmt.Errorf("tenant %q is not evicted", r.spec.Name)
+	}
+	grant := floor
+	if d := r.chip.Draw(); d > grant {
+		grant = d
+	}
+	if err := reclaimHeadroom(root, grant, floor); err != nil {
+		return 0, fmt.Errorf("re-admitting tenant %q: %w", r.spec.Name, err)
+	}
+	dom, err := root.NewChild(r.spec.Name, grant, func(w cmp.Watts) error {
+		return shedToGrant(r.sys, r.chip, w)
+	})
+	if err != nil {
+		return 0, fmt.Errorf("re-admitting tenant %q: %w", r.spec.Name, err)
+	}
+	// NewChild does not actuate the initial grant; lift the parked chip's
+	// budget to it so the tenant loop has headroom to spend again.
+	if err := shedToGrant(r.sys, r.chip, grant); err != nil {
+		return 0, fmt.Errorf("re-admitting tenant %q: %w", r.spec.Name, err)
+	}
+	r.domain = dom
+	r.evicted = false
+	// The stopped loop is about to be replaced; fold its boosts into the
+	// tally so the final TenantResult spans every incarnation.
+	if r.boostTally == nil {
+		r.boostTally = make(map[core.BoostKind]int)
+	}
+	for k, v := range r.loop.Boosts() {
+		r.boostTally[k] += v
+	}
+	r.loop, err = group.Go(controlplane.NewAdjuster(r.view, r.agg), controlplane.Options{
+		Policy:   r.policy,
+		Interval: r.spec.AdjustInterval,
+		Audit:    audit,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("tenant %q loop: %w", r.spec.Name, err)
+	}
+	return grant, nil
+}
+
+// reclaimHeadroom makes room for a re-admission: when the arbiter has
+// granted the evicted tenant's watts away, the richest running tenants are
+// cut toward the floor — richest first, never below it — until the root's
+// headroom covers the grant. This is the floor re-admission guarantee: the
+// floor bounds both how deep a running tenant can be cut and how much a
+// returning one is owed, so a hierarchy whose floors fit the budget can
+// always take an evicted tenant back.
+func reclaimHeadroom(root *core.BudgetDomain, grant, floor cmp.Watts) error {
+	children := root.Children()
+	sort.Slice(children, func(i, j int) bool { return children[i].Budget() > children[j].Budget() })
+	for _, c := range children {
+		need := grant - root.Headroom()
+		if need <= 1e-9 {
+			return nil
+		}
+		cut := c.Budget() - floor
+		if cut <= 0 {
+			continue
+		}
+		if cut > need {
+			cut = need
+		}
+		if err := c.SetBudget(c.Budget() - cut); err != nil {
+			// An unshedable cut — the donor's partition has grown past what
+			// the lowered grant can power — just moves to the next donor.
+			continue
+		}
+	}
+	if hr := root.Headroom(); hr < grant-1e-9 {
+		return fmt.Errorf("headroom %.2fW cannot cover the %.2fW floor re-admission",
+			float64(hr), float64(grant))
+	}
+	return nil
+}
+
 // tenantArbiterView is the arbiter's view of the root domain: the budget
 // arithmetic comes from the domain ledger (Draw = Σ child grants, so the
 // whole cap is distributable), the members are the tenants with their live
@@ -245,6 +406,9 @@ func (v *tenantArbiterView) Hysteresis() cmp.Watts            { return v.hyst }
 func (v *tenantArbiterView) Members() []arbiter.Member {
 	out := make([]arbiter.Member, 0, len(v.runs))
 	for _, r := range v.runs {
+		if r.evicted {
+			continue
+		}
 		metric, breakdown := r.appMetric()
 		out = append(out, arbiter.Member{
 			Control:   r.domain,
@@ -337,6 +501,22 @@ func RunMulti(sc MultiScenario) (*MultiResult, error) {
 			return nil, fmt.Errorf("harness: tenant %q: %w", sc.Tenants[i].Name, err)
 		}
 	}
+	for _, ev := range sc.Churn {
+		known := false
+		for i := range sc.Tenants {
+			if sc.Tenants[i].Name == ev.Tenant {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("harness: churn event names unknown tenant %q", ev.Tenant)
+		}
+		if ev.At <= 0 || ev.At >= sc.Duration {
+			return nil, fmt.Errorf("harness: churn event for %q at %v outside the (0, %v) horizon",
+				ev.Tenant, ev.At, sc.Duration)
+		}
+	}
 
 	eng := sim.NewEngine()
 	model := cmp.DefaultModel()
@@ -417,6 +597,7 @@ func RunMulti(sc MultiScenario) (*MultiResult, error) {
 		Scenario: sc.Name,
 		Arbiter:  "static-split",
 		Budget:   budget,
+		Floor:    floor,
 		Combined: stats.NewSummary(),
 		Trace:    stats.NewTimeSeries(),
 	}
@@ -435,10 +616,10 @@ func RunMulti(sc MultiScenario) (*MultiResult, error) {
 		rng := rand.New(rand.NewSource(sc.Seed + int64(i)*1000003))
 		branches := make([]int, len(r.spec.Instances))
 		copy(branches, r.spec.Instances)
-		gen := workload.NewGenerator(eng, r.sys, src, func(rr *rand.Rand) [][]time.Duration {
+		r.gen = workload.NewGenerator(eng, r.sys, src, func(rr *rand.Rand) [][]time.Duration {
 			return r.spec.App.DrawWork(rr, branches)
 		}, rng, sc.Duration)
-		gen.Start()
+		r.gen.Start()
 	}
 
 	// Control plane: a Group of nested loops on the engine clock, arbiter
@@ -447,20 +628,20 @@ func RunMulti(sc MultiScenario) (*MultiResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	checkInvariant := func() {
+		if err := root.CheckInvariant(); err != nil {
+			res.Violations++
+		}
+		if g := root.Granted(); g > res.MaxGranted {
+			res.MaxGranted = g
+		}
+	}
 	var arbLoop *controlplane.Loop
 	if sc.Arbiter != nil {
 		arbPolicy := sc.Arbiter()
 		res.Arbiter = arbPolicy.Name()
 		aview := &tenantArbiterView{
 			now: eng.Now, model: model, root: root, runs: runs, floor: floor, hyst: hyst,
-		}
-		checkInvariant := func() {
-			if err := root.CheckInvariant(); err != nil {
-				res.Violations++
-			}
-			if g := root.Granted(); g > res.MaxGranted {
-				res.MaxGranted = g
-			}
 		}
 		arbLoop, err = group.Go(controlplane.NewAdjuster(aview, nil), controlplane.Options{
 			Policy:    arbPolicy,
@@ -482,6 +663,44 @@ func RunMulti(sc MultiScenario) (*MultiResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("harness: tenant %q loop: %w", r.spec.Name, err)
 		}
+	}
+
+	// Churn: scripted membership changes, validated above and applied as
+	// engine events. A failure inside an event cannot return, so the first
+	// one is carried out and fails the whole run after the horizon.
+	var churnErr error
+	churnFail := func(err error) {
+		if churnErr == nil {
+			churnErr = err
+		}
+	}
+	runByName := make(map[string]*tenantRun, len(runs))
+	for _, r := range runs {
+		runByName[r.spec.Name] = r
+	}
+	for _, ev := range sc.Churn {
+		ev := ev
+		r := runByName[ev.Tenant]
+		eng.ScheduleAt(ev.At, func() {
+			var err error
+			var watts cmp.Watts
+			if ev.Admit {
+				watts, err = admitTenant(r, root, group, model, floor, sc.Audit)
+				if err == nil {
+					r.gen.Resume()
+				}
+			} else {
+				watts, err = evictTenant(r, root, model)
+			}
+			if err != nil {
+				churnFail(fmt.Errorf("at %v: %w", ev.At, err))
+				return
+			}
+			res.Churn = append(res.Churn, ChurnRecord{
+				At: eng.Now(), Tenant: ev.Tenant, Admit: ev.Admit, Watts: watts,
+			})
+			checkInvariant()
+		})
 	}
 
 	// Sampler: registered after every loop, so equal-timestamp samples see
@@ -534,11 +753,18 @@ func RunMulti(sc MultiScenario) (*MultiResult, error) {
 	group.Stop()
 	stopSample()
 
+	if churnErr != nil {
+		return nil, fmt.Errorf("harness: %q churn: %w", sc.Name, churnErr)
+	}
 	if arbLoop != nil {
 		res.ArbiterEpochs = arbLoop.Total()
 	}
 	horizon := lastSample.Seconds()
 	for _, r := range runs {
+		boosts := r.loop.Boosts()
+		for k, v := range r.boostTally {
+			boosts[k] += v
+		}
 		tr := TenantResult{
 			Name:         r.spec.Name,
 			Policy:       r.policy.Name(),
@@ -548,7 +774,7 @@ func RunMulti(sc MultiScenario) (*MultiResult, error) {
 			Latency:      r.latency,
 			InitialGrant: r.initialGrant,
 			FinalGrant:   r.domain.Budget(),
-			Boosts:       r.loop.Boosts(),
+			Boosts:       boosts,
 		}
 		if horizon > 0 {
 			tr.AvgPower = cmp.Watts(r.powerIntegral / horizon)

@@ -193,3 +193,123 @@ func TestBenchTenantScenario(t *testing.T) {
 			arb.Combined.P99(), static.Combined.P99())
 	}
 }
+
+// TestRunMultiTenantChurn is the membership acceptance property: evicting a
+// tenant mid-run returns its grant to the root, re-admitting it lands a
+// grant of at least the floor (reclaimed from the richest tenant if the
+// arbiter granted the headroom away), and the hierarchy invariant holds
+// across every epoch and both transitions.
+func TestRunMultiTenantChurn(t *testing.T) {
+	churned := twoTenantScenario(proportionalArbiter, 5)
+	churned.Churn = []ChurnEvent{
+		{At: 100 * time.Second, Tenant: "idle"},
+		{At: 200 * time.Second, Tenant: "idle", Admit: true},
+	}
+	res, err := RunMulti(churned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("domain invariant violated %d times across churn", res.Violations)
+	}
+	if res.MaxGranted > res.Budget+1e-6 {
+		t.Fatalf("Σ grants peaked at %.4fW over the %.4fW budget", float64(res.MaxGranted), float64(res.Budget))
+	}
+	if len(res.Churn) != 2 {
+		t.Fatalf("recorded %d churn events, want 2: %+v", len(res.Churn), res.Churn)
+	}
+	evict, admit := res.Churn[0], res.Churn[1]
+	if evict.Admit || evict.Tenant != "idle" || evict.Watts <= 0 {
+		t.Fatalf("eviction record %+v", evict)
+	}
+	if !admit.Admit || admit.Tenant != "idle" || admit.Watts < res.Floor-1e-9 {
+		t.Fatalf("re-admission record %+v below the %.2fW floor", admit, float64(res.Floor))
+	}
+	idle := res.Tenants[0]
+	if idle.Name != "idle" {
+		t.Fatalf("tenant order changed: %q", idle.Name)
+	}
+	if idle.FinalGrant < res.Floor-1e-9 {
+		t.Fatalf("re-admitted tenant ended at %.2fW, below the %.2fW floor",
+			float64(idle.FinalGrant), float64(res.Floor))
+	}
+	// The grant trace shows the evicted window: the ledger held nothing for
+	// the tenant between the transitions.
+	sawZero := false
+	for _, p := range res.Trace.Get("grant:idle").Points {
+		if p.At > 100*time.Second && p.At < 200*time.Second && p.Value == 0 {
+			sawZero = true
+		}
+	}
+	if !sawZero {
+		t.Fatal("grant trace never showed the evicted tenant at 0W")
+	}
+
+	// Arrivals really paused: the churned run submits fewer idle-tenant
+	// queries than the same seed without churn.
+	baseline, err := RunMulti(twoTenantScenario(proportionalArbiter, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle.Submitted >= baseline.Tenants[0].Submitted {
+		t.Fatalf("eviction did not pause arrivals: %d submitted vs %d without churn",
+			idle.Submitted, baseline.Tenants[0].Submitted)
+	}
+	if baseline.Violations != 0 {
+		t.Fatalf("baseline run violated the invariant %d times", baseline.Violations)
+	}
+}
+
+// TestRunMultiChurnDeterministic: churn transitions are engine events, so
+// the same scenario and seed reproduce the same numbers.
+func TestRunMultiChurnDeterministic(t *testing.T) {
+	scenario := func() MultiScenario {
+		sc := twoTenantScenario(proportionalArbiter, 11)
+		sc.Churn = []ChurnEvent{
+			{At: 90 * time.Second, Tenant: "busy"},
+			{At: 170 * time.Second, Tenant: "busy", Admit: true},
+		}
+		return sc
+	}
+	a, err := RunMulti(scenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMulti(scenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Combined.Count() != b.Combined.Count() || a.Combined.P99() != b.Combined.P99() {
+		t.Fatalf("churned runs diverged: %d/%v vs %d/%v",
+			a.Combined.Count(), a.Combined.P99(), b.Combined.Count(), b.Combined.P99())
+	}
+	for i := range a.Churn {
+		if a.Churn[i] != b.Churn[i] {
+			t.Fatalf("churn records diverged: %+v vs %+v", a.Churn[i], b.Churn[i])
+		}
+	}
+}
+
+// TestRunMultiChurnRejectsBadEvents pins the upfront validation: unknown
+// tenants and out-of-horizon times fail before the run starts, and a
+// double eviction surfaces as a run error.
+func TestRunMultiChurnRejectsBadEvents(t *testing.T) {
+	sc := twoTenantScenario(proportionalArbiter, 1)
+	sc.Churn = []ChurnEvent{{At: 50 * time.Second, Tenant: "nobody"}}
+	if _, err := RunMulti(sc); err == nil {
+		t.Fatal("unknown churn tenant accepted")
+	}
+	sc = twoTenantScenario(proportionalArbiter, 1)
+	sc.Churn = []ChurnEvent{{At: sc.Duration + time.Second, Tenant: "idle"}}
+	if _, err := RunMulti(sc); err == nil {
+		t.Fatal("out-of-horizon churn event accepted")
+	}
+	sc = twoTenantScenario(proportionalArbiter, 1)
+	sc.Churn = []ChurnEvent{
+		{At: 50 * time.Second, Tenant: "idle"},
+		{At: 60 * time.Second, Tenant: "idle"},
+	}
+	if _, err := RunMulti(sc); err == nil {
+		t.Fatal("double eviction did not fail the run")
+	}
+}

@@ -25,6 +25,10 @@ type ControlOptions struct {
 	Scale float64
 	// Audit, when set, is attached to the policy so decisions are logged.
 	Audit *telemetry.AuditLog
+	// Tap, when set, is attached to the policy (if it implements
+	// core.TapSetter) so every adjust interval's decision — snapshot, plan,
+	// outcome — is recorded for offline replay.
+	Tap core.DecisionTap
 }
 
 func (o *ControlOptions) defaults() error {
@@ -59,6 +63,7 @@ func (t *LiveTarget) AttachControl(opts ControlOptions) (*controlplane.Loop, err
 		Policy:   opts.Policy,
 		Interval: opts.Interval,
 		Audit:    opts.Audit,
+		Tap:      opts.Tap,
 	})
 }
 
@@ -75,6 +80,7 @@ func (t *DESTarget) AttachControl(opts ControlOptions) (*controlplane.Loop, erro
 		Policy:   opts.Policy,
 		Interval: opts.Interval,
 		Audit:    opts.Audit,
+		Tap:      opts.Tap,
 	})
 }
 
@@ -89,6 +95,7 @@ func (t *DistTarget) AttachControl(opts ControlOptions) (*controlplane.Loop, err
 		Policy:   opts.Policy,
 		Interval: opts.Interval,
 		Audit:    opts.Audit,
+		Tap:      opts.Tap,
 	})
 }
 

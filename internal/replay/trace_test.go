@@ -1,0 +1,177 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"powerchief/internal/app"
+	"powerchief/internal/cmp"
+	"powerchief/internal/core"
+	"powerchief/internal/sim"
+	"powerchief/internal/stage"
+)
+
+// testTrace records topology-only frames from a real DES deployment, so the
+// snapshots carry genuine physics tables and instance state.
+func testTrace(t *testing.T, frames int) *Trace {
+	t.Helper()
+	eng := sim.NewEngine()
+	chip := cmp.NewChip(8, cmp.DefaultModel(), 30)
+	specs, err := app.Sirius().Specs([]int{1, 1, 1}, cmp.MidLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := stage.NewSystem(eng, chip, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := core.NewDESView(sys)
+	rec := NewRecorder(Header{Scenario: "trace-test", Seed: 42, Policy: "baseline"}, 0)
+	for i := 0; i < frames; i++ {
+		eng.RunUntil(time.Duration(i+1) * time.Second)
+		rec.RecordDecision(core.DecisionRecord{
+			Snapshot: core.CaptureSnapshot(view, nil),
+			Outcome:  core.BoostOutcome{Kind: core.BoostNone},
+		})
+	}
+	return rec.Trace()
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := testTrace(t, 3)
+	var a, b bytes.Buffer
+	if err := Write(&a, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("trace encoding is not deterministic")
+	}
+	got, err := Read(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != tr.Header {
+		t.Fatalf("header drifted: %+v vs %+v", got.Header, tr.Header)
+	}
+	want, _ := json.Marshal(tr.Frames)
+	have, _ := json.Marshal(got.Frames)
+	if !bytes.Equal(want, have) {
+		t.Fatal("frames drifted across the round trip")
+	}
+
+	// The gzip file path round-trips identically.
+	path := filepath.Join(t.TempDir(), "t.jsonl.gz")
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have2, _ := json.Marshal(got2.Frames)
+	if got2.Header != tr.Header || !bytes.Equal(want, have2) {
+		t.Fatal("gzip round trip drifted")
+	}
+	if got2.Duration() != 2*time.Second {
+		t.Fatalf("Duration = %v, want 2s across 3 one-second frames", got2.Duration())
+	}
+}
+
+// TestTraceTruncationFailsLoudly: a cut gzip stream and a partial final
+// JSONL line both surface as read errors, never as a silently shortened
+// trace.
+func TestTraceTruncationFailsLoudly(t *testing.T) {
+	tr := testTrace(t, 4)
+	dir := t.TempDir()
+
+	gz := filepath.Join(dir, "t.jsonl.gz")
+	if err := WriteFile(gz, tr); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := os.ReadFile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.5, 0.9} {
+		cut := filepath.Join(dir, "cut.jsonl.gz")
+		if err := os.WriteFile(cut, payload[:int(float64(len(payload))*frac)], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFile(cut); err == nil {
+			t.Fatalf("gzip trace truncated to %.0f%% read without error", frac*100)
+		}
+	}
+
+	plain := filepath.Join(dir, "t.jsonl")
+	if err := WriteFile(plain, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.jsonl")
+	if err := os.WriteFile(cut, raw[:len(raw)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(cut); err == nil {
+		t.Fatal("trace with a partial final line read without error")
+	}
+}
+
+// TestTraceVersionSkewRejected: both container-level and snapshot-level
+// schema skew are refused outright — silent reinterpretation of recorded
+// decision inputs would defeat the determinism gate.
+func TestTraceVersionSkewRejected(t *testing.T) {
+	hdr := Header{Version: TraceVersion + 1, Policy: "baseline"}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("version-skewed header accepted: %v", err)
+	}
+
+	tr := testTrace(t, 1)
+	tr.Frames[0].Snapshot.Version = core.SnapshotVersion + 1
+	var skew bytes.Buffer
+	if err := Write(&skew, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&skew); err == nil {
+		t.Fatal("snapshot version skew accepted")
+	}
+
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+// TestRecorderBoundsFrames: past the limit the trace stays a prefix and the
+// overflow is counted, never sampled.
+func TestRecorderBoundsFrames(t *testing.T) {
+	src := testTrace(t, 1)
+	snap := src.Frames[0].Snapshot
+	rec := NewRecorder(Header{Policy: "baseline"}, 2)
+	for i := 0; i < 5; i++ {
+		rec.RecordDecision(core.DecisionRecord{Snapshot: snap})
+	}
+	if rec.Len() != 2 || rec.Dropped() != 3 {
+		t.Fatalf("Len=%d Dropped=%d, want 2 and 3", rec.Len(), rec.Dropped())
+	}
+	tr := rec.Trace()
+	if len(tr.Frames) != 2 || tr.Frames[0].Tick != 0 || tr.Frames[1].Tick != 1 {
+		t.Fatalf("bounded trace is not the prefix: %+v", tr.Frames)
+	}
+	if tr.Header.Version != TraceVersion {
+		t.Fatalf("recorder did not stamp the trace version: %d", tr.Header.Version)
+	}
+}

@@ -149,14 +149,16 @@ type WorkDrawer func(rng *rand.Rand) [][]time.Duration
 // engine. Time-varying rates are realized by thinning against the source's
 // MaxRate, which keeps the process exact for piecewise-constant traces.
 type Generator struct {
-	eng    *sim.Engine
-	sys    *stage.System
-	src    Source
-	draw   WorkDrawer
-	rng    *rand.Rand
-	until  time.Duration
-	nextID query.ID
-	issued uint64
+	eng     *sim.Engine
+	sys     *stage.System
+	src     Source
+	draw    WorkDrawer
+	rng     *rand.Rand
+	until   time.Duration
+	nextID  query.ID
+	issued  uint64
+	paused  bool
+	pending *sim.Event
 }
 
 // NewGenerator prepares a generator that submits queries from virtual time 0
@@ -180,6 +182,28 @@ func (g *Generator) Start() {
 	g.scheduleNext()
 }
 
+// Pause suspends the arrival process by cancelling the pending candidate
+// arrival: queries already submitted keep flowing through the system, no
+// new ones arrive. Used by the multi-tenant harness when a tenant is
+// evicted mid-run. Safe to call repeatedly.
+func (g *Generator) Pause() {
+	if g.pending != nil {
+		g.eng.Cancel(g.pending)
+		g.pending = nil
+	}
+	g.paused = true
+}
+
+// Resume restarts a paused arrival process from the current virtual
+// instant; the generation horizon is unchanged. A no-op when not paused.
+func (g *Generator) Resume() {
+	if !g.paused {
+		return
+	}
+	g.paused = false
+	g.scheduleNext()
+}
+
 func (g *Generator) scheduleNext() {
 	maxRate := g.src.MaxRate()
 	if maxRate <= 0 {
@@ -191,7 +215,8 @@ func (g *Generator) scheduleNext() {
 	if delay <= 0 {
 		delay = time.Nanosecond
 	}
-	g.eng.Schedule(delay, func() {
+	g.pending = g.eng.Schedule(delay, func() {
+		g.pending = nil
 		now := g.eng.Now()
 		if now > g.until {
 			return
